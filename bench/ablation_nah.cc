@@ -1,0 +1,53 @@
+// Ablation: aggregators per node (N_ah) — the many-core knob. Sweeps
+// N_ah at two memory levels; more aggregator slots help only while each
+// still gets a useful share of the node's memory.
+#include "common.h"
+#include "util/cli.h"
+
+using namespace mcio;
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  bench::Testbed tb;
+  tb.nodes = static_cast<int>(cli.get_int("nodes", 10));
+  const int nranks = static_cast<int>(
+      cli.get_int("ranks", tb.nodes * tb.ranks_per_node));
+  cli.check_unused();
+
+  workloads::IorConfig w;
+  w.block_size = 32ull << 20;
+  w.transfer_size = 1ull << 20;
+  w.segments = 1;
+  w.interleaved = true;
+  const auto make_plan = [&](int rank, int p) {
+    return workloads::ior_plan(
+        rank, p, w,
+        util::Payload::virtual_bytes(workloads::ior_bytes_per_rank(w)));
+  };
+
+  util::Table table({"N_ah", "mem/node", "write MB/s", "read MB/s",
+                     "aggregators"});
+  for (const std::uint64_t mem :
+       {std::uint64_t{128} << 20, std::uint64_t{8} << 20}) {
+    for (int nah = 1; nah <= 4; ++nah) {
+      bench::RunOptions opt;
+      opt.driver = bench::DriverKind::kMccio;
+      opt.nranks = nranks;
+      opt.testbed = tb;
+      opt.mem_mean = mem;
+      opt.mccio.n_ah = nah;
+      // Let N_ah actually fan out: allow extra slots whenever each still
+      // gets at least Msg_ind/4.
+      opt.mccio.msg_ind = 32ull << 20;
+      const auto r = bench::run_experiment(opt, make_plan);
+      table.add(nah, util::format_bytes(mem),
+                util::fixed(r.write_bw / 1e6),
+                util::fixed(r.read_bw / 1e6),
+                r.write_stats.num_aggregators());
+    }
+  }
+  std::cout << "# Ablation — aggregators per node (N_ah), IOR "
+            << nranks << " processes\n";
+  table.print(std::cout);
+  return 0;
+}

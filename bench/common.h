@@ -1,0 +1,181 @@
+// Shared bench harness: the simulated testbed (paper §4: 640-node Linux
+// cluster, 2×6-core Xeons, 24 GB/node, DDR InfiniBand, DDN-backed Lustre
+// with 1 MB stripes) and the write/read measurement loop used by every
+// figure reproduction.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iostream>
+#include <string>
+
+#include "core/mccio_driver.h"
+#include "core/tuner.h"
+#include "io/independent.h"
+#include "io/mpi_file.h"
+#include "io/two_phase_driver.h"
+#include "metrics/collective_stats.h"
+#include "mpi/machine.h"
+#include "node/memory.h"
+#include "pfs/pfs.h"
+#include "util/bytes.h"
+#include "util/table.h"
+#include "workloads/collperf.h"
+#include "workloads/ior.h"
+
+namespace mcio::bench {
+
+/// The simulated testbed, calibrated so the baseline two-phase anchors of
+/// Figure 8 land in the right ballpark (see EXPERIMENTS.md).
+struct Testbed {
+  int nodes = 10;
+  int ranks_per_node = 12;
+
+  sim::ClusterConfig cluster() const {
+    sim::ClusterConfig c;
+    c.num_nodes = nodes;
+    c.ranks_per_node = ranks_per_node;
+    c.nic_bandwidth = 1.5e9;       // DDR InfiniBand, ~1.5 GB/s per port
+    c.nic_latency = 2.0e-6;
+    c.membus_bandwidth = 25.0e9;   // per-node off-chip bandwidth
+    c.node_memory = 24ull << 30;   // 24 GB per node
+    c.swap_bandwidth = 40.0e6;     // paging device
+    return c;
+  }
+
+  pfs::PfsConfig pfs() const {
+    pfs::PfsConfig p;
+    p.num_osts = 32;
+    p.stripe_unit = 1ull << 20;    // 1 MB round-robin stripes (paper)
+    p.default_stripe_count = -1;   // striped over all servers (paper)
+    // Each "OST" models a DDN RAID LUN: streaming transfers are fast
+    // (controller write-back caching), discontiguous access pays heavy
+    // head movement + RAID read-modify-write, and reads seek less but
+    // stream slower than cached writes.
+    p.ost_write_bandwidth = 1.0e9;
+    p.ost_read_bandwidth = 117.0e6;
+    p.rpc_latency = 0.4e-3;
+    p.seek_latency = 79.0e-3;       // write seek: RAID RMW dominated
+    p.read_seek_latency = 28.5e-3;  // read seek: head movement only
+    p.max_rpc_bytes = 16ull << 20;
+    p.store_data = false;          // virtual payloads at paper scale
+    return p;
+  }
+};
+
+enum class DriverKind { kTwoPhase, kMccio, kIndependent };
+
+inline const char* driver_name(DriverKind k) {
+  switch (k) {
+    case DriverKind::kTwoPhase:
+      return "two-phase";
+    case DriverKind::kMccio:
+      return "mccio";
+    case DriverKind::kIndependent:
+      return "independent";
+  }
+  return "?";
+}
+
+/// Builds each rank's (virtual-payload) plan.
+using BenchPlanFactory = std::function<io::AccessPlan(int rank, int nranks)>;
+
+struct RunResult {
+  double write_bw = 0.0;  ///< bytes/s
+  double read_bw = 0.0;
+  metrics::CollectiveStats write_stats;
+  metrics::CollectiveStats read_stats;
+};
+
+struct RunOptions {
+  DriverKind driver = DriverKind::kTwoPhase;
+  int nranks = 0;
+  Testbed testbed;
+  /// Per-aggregator memory knob M of the paper's sweeps: the baseline's
+  /// fixed cb_buffer_size and the mean of each node's available
+  /// aggregation memory.
+  std::uint64_t mem_mean = 16ull << 20;
+  /// Availability stdev as a fraction of the mean (paper §4 ¶4).
+  double mem_stdev = 0.5;
+  std::uint64_t mem_seed = 20120512;  ///< fixed: same draws for all drivers
+  core::MccioConfig mccio;
+  io::Hints hints;
+};
+
+/// One experiment: collective write of the whole workload, cache flush,
+/// collective read; returns the paper-style aggregate bandwidths.
+inline RunResult run_experiment(const RunOptions& opt,
+                                const BenchPlanFactory& make_plan) {
+  mpi::Machine machine(opt.testbed.cluster());
+  pfs::Pfs fs(machine.cluster(), opt.testbed.pfs());
+  node::MemoryVariance var;
+  var.relative_stdev = opt.mem_stdev;
+  node::MemoryManager memory(opt.testbed.cluster(), opt.mem_mean, var,
+                             opt.mem_seed);
+
+  io::TwoPhaseDriver two_phase;
+  core::MccioDriver mccio(opt.mccio);
+  io::IndependentDriver independent;
+  io::CollectiveDriver* driver = nullptr;
+  switch (opt.driver) {
+    case DriverKind::kTwoPhase:
+      driver = &two_phase;
+      break;
+    case DriverKind::kMccio:
+      driver = &mccio;
+      break;
+    case DriverKind::kIndependent:
+      driver = &independent;
+      break;
+  }
+
+  io::Hints hints = opt.hints;
+  hints.cb_buffer_size = opt.mem_mean;  // the baseline's fixed buffer
+
+  RunResult result;
+
+  machine.run(opt.nranks, [&](mpi::Rank& rank) {
+    io::AccessPlan plan = make_plan(rank.rank(), opt.nranks);
+    const double my_bytes = static_cast<double>(plan.total_bytes());
+    const double all_bytes = rank.world().allreduce_sum(my_bytes);
+
+    io::MPIFile file(rank, rank.world(),
+                     io::MPIFile::Services{&fs, &memory}, "/bench",
+                     /*create=*/true, hints, driver);
+    file.set_stats(&result.write_stats);
+
+    rank.world().barrier();
+    const double t0 = rank.world().allreduce_max(rank.actor().now());
+    file.write_all_plan(plan);
+    rank.world().barrier();
+    const double t1 = rank.world().allreduce_max(rank.actor().now());
+
+    // The paper evicts cached data with memory flushing after the write
+    // phase; drop server-side locality state the same way.
+    if (rank.rank() == 0) fs.flush_locality();
+    rank.world().barrier();
+
+    file.set_stats(&result.read_stats);
+    const double t2 = rank.world().allreduce_max(rank.actor().now());
+    file.read_all_plan(plan);
+    rank.world().barrier();
+    const double t3 = rank.world().allreduce_max(rank.actor().now());
+
+    if (rank.rank() == 0) {
+      result.write_bw = all_bytes / (t1 - t0);
+      result.read_bw = all_bytes / (t3 - t2);
+      result.write_stats.set_elapsed(t1 - t0);
+      result.read_stats.set_elapsed(t3 - t2);
+    }
+  });
+  return result;
+}
+
+/// The memory sweep of Figures 6-8, largest first like the paper's plots.
+inline std::vector<std::uint64_t> paper_memory_sweep() {
+  using util::kMiB;
+  return {128 * kMiB, 64 * kMiB, 32 * kMiB, 16 * kMiB,
+          8 * kMiB,   4 * kMiB,  2 * kMiB};
+}
+
+}  // namespace mcio::bench

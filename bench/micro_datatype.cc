@@ -1,0 +1,57 @@
+// Microbenchmarks: derived-datatype flattening and extent algebra
+// (google-benchmark) — the per-collective metadata cost.
+#include <benchmark/benchmark.h>
+
+#include "mpi/datatype.h"
+#include "util/extent.h"
+
+namespace {
+
+using mcio::mpi::Datatype;
+using mcio::util::Extent;
+using mcio::util::ExtentList;
+
+void BM_SubarrayFlatten(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  for (auto _ : state) {
+    const Datatype t = Datatype::subarray({n, n, n}, {n / 2, n / 2, n / 2},
+                                          {n / 4, n / 4, n / 4},
+                                          Datatype::bytes(8));
+    benchmark::DoNotOptimize(t.num_runs());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n / 2 * n / 2));
+}
+BENCHMARK(BM_SubarrayFlatten)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_VectorFlattenBytes(benchmark::State& state) {
+  const auto count = static_cast<std::uint64_t>(state.range(0));
+  const Datatype t = Datatype::vector(count, 3, 7, Datatype::bytes(512));
+  for (auto _ : state) {
+    auto runs = t.flatten_bytes(0, t.size() * 4);
+    benchmark::DoNotOptimize(runs.size());
+  }
+}
+BENCHMARK(BM_VectorFlattenBytes)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_ExtentListClip(benchmark::State& state) {
+  const auto n = static_cast<std::uint64_t>(state.range(0));
+  std::vector<Extent> runs;
+  runs.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    runs.push_back(Extent{i * 4096, 2048});
+  }
+  const ExtentList list = ExtentList::normalize(std::move(runs));
+  for (auto _ : state) {
+    std::uint64_t total = 0;
+    for (std::uint64_t w = 0; w < 16; ++w) {
+      total += list.clipped(Extent{w * n * 256, n * 256}).total_bytes();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_ExtentListClip)->Arg(1024)->Arg(16384);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,71 @@
+// Table 1: potential exascale computer design and its relationship to
+// current (2010) HPC designs, after Vetter et al. — including the paper's
+// memory-per-core projection f_m / (f_s · f_c), which motivates the whole
+// memory-conscious design.
+#include <cstdio>
+#include <iostream>
+
+#include "util/table.h"
+
+namespace {
+
+struct Row {
+  const char* metric;
+  double v2010;
+  double v2018;
+  const char* unit2010;
+  const char* unit2018;
+};
+
+}  // namespace
+
+int main() {
+  using mcio::util::Table;
+  using mcio::util::fixed;
+
+  const Row rows[] = {
+      {"System Peak", 2, 1, "Pf/s", "Ef/s"},
+      {"Power", 6, 20, "MW", "MW"},
+      {"System Memory", 0.3, 10, "PB", "PB"},
+      {"Node Performance", 0.125, 10, "Tf/s", "Tf/s"},
+      {"Node Memory BW", 25, 400, "GB/s", "GB/s"},
+      {"Node Concurrency", 12, 1000, "CPUs", "CPUs"},
+      {"Interconnect BW", 1.5, 50, "GB/s", "GB/s"},
+      {"System Size (nodes)", 20e3, 1e6, "nodes", "nodes"},
+      {"Total Concurrency", 225e3, 1e9, "", ""},
+      {"Storage", 15, 300, "PB", "PB"},
+      {"I/O Bandwidth", 0.2, 20, "TB/s", "TB/s"},
+  };
+  // Factor changes as printed in the paper (peak normalized to flops).
+  const double factors[] = {500, 3, 33, 80, 16, 83, 33, 50, 4444, 20, 100};
+
+  Table table({"metric", "2010", "2018", "factor change"});
+  int i = 0;
+  for (const Row& r : rows) {
+    char a[64], b[64];
+    std::snprintf(a, sizeof(a), "%g %s", r.v2010, r.unit2010);
+    std::snprintf(b, sizeof(b), "%g %s", r.v2018, r.unit2018);
+    table.add(r.metric, a, b, fixed(factors[i++], 0));
+  }
+  std::cout << "# Table 1 — potential exascale design vs 2010 HPC "
+               "designs [Vetter et al.]\n";
+  table.print(std::cout);
+
+  // The paper's projection: memory per core scales as f_m / (f_s * f_c).
+  const double f_m = 33;   // system memory factor
+  const double f_s = 50;   // system size factor
+  const double f_c = 83;   // node concurrency factor
+  const double factor = f_m / (f_s * f_c);
+  const double mem_per_core_2010 =
+      0.3e15 / (20e3 * 12);  // bytes per core, 2010
+  const double projected = 10e15 / (1e6 * 1000);
+  std::cout << "\nmemory-per-core projection f_m/(f_s*f_c) = " << f_m
+            << "/(" << f_s << "*" << f_c << ") = "
+            << fixed(factor, 4) << "x\n";
+  std::cout << "2010 memory per core: "
+            << fixed(mem_per_core_2010 / 1.0e9, 2) << " GB\n";
+  std::cout << "2018 projected memory per core: "
+            << fixed(projected / 1.0e6, 1)
+            << " MB  — megabytes, as the paper notes\n";
+  return 0;
+}

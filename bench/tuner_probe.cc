@@ -1,0 +1,22 @@
+// Runs the §3 parameter-measurement procedure (core::Tuner) against the
+// calibrated testbed and prints the values MCCIO would use: Msg_ind,
+// N_ah, Mem_min and Msg_group.
+#include "common.h"
+
+using namespace mcio;
+
+int main() {
+  bench::Testbed tb;
+  tb.nodes = 10;
+  core::Tuner tuner(tb.cluster(), tb.pfs());
+  const auto r = tuner.tune();
+  std::cout << "# Tuner — measured MCCIO parameters on the simulated "
+               "testbed\n";
+  util::Table table({"parameter", "value"});
+  table.add("Msg_ind", util::format_bytes(r.msg_ind));
+  table.add("N_ah", r.n_ah);
+  table.add("Mem_min", util::format_bytes(r.mem_min));
+  table.add("Msg_group", util::format_bytes(r.msg_group));
+  table.print(std::cout);
+  return 0;
+}

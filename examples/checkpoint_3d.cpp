@@ -1,0 +1,89 @@
+// Checkpoint/restart of a 3-D block-distributed simulation field — the
+// coll_perf-style workload that motivates collective I/O in climate and
+// astrophysics codes. Each rank owns a subarray of a global row-major
+// array, built as a derived-datatype file view, and the whole field is
+// checkpointed and restored through MCCIO.
+//
+//   ./checkpoint_3d [--dim=192] [--ranks=24] [--steps=3]
+#include <iostream>
+#include <vector>
+
+#include "core/mccio_driver.h"
+#include "io/mpi_file.h"
+#include "mpi/machine.h"
+#include "node/memory.h"
+#include "pfs/pfs.h"
+#include "util/bytes.h"
+#include "util/cli.h"
+#include "workloads/collperf.h"
+#include "workloads/pattern.h"
+
+using namespace mcio;
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  const auto dim = static_cast<std::uint64_t>(cli.get_int("dim", 192));
+  const int nranks = static_cast<int>(cli.get_int("ranks", 24));
+  const int steps = static_cast<int>(cli.get_int("steps", 3));
+  cli.check_unused();
+
+  sim::ClusterConfig cluster;
+  cluster.num_nodes = (nranks + 11) / 12;
+  cluster.ranks_per_node = 12;
+  mpi::Machine machine(cluster);
+  pfs::Pfs fs(machine.cluster(), pfs::PfsConfig{});
+  node::MemoryVariance variance;
+  variance.relative_stdev = 0.5;
+  node::MemoryManager memory(cluster, 16 << 20, variance, 1234);
+
+  workloads::CollPerfConfig field;
+  field.dims = {dim, dim, dim};
+  field.elem_size = sizeof(double);
+
+  const auto grid = workloads::dims_create3(nranks);
+  std::cout << "global field: " << dim << "^3 doubles ("
+            << util::format_bytes(workloads::collperf_total_bytes(field))
+            << ") on a " << grid[0] << "x" << grid[1] << "x" << grid[2]
+            << " process grid\n";
+
+  core::MccioDriver driver;
+  for (int step = 0; step < steps; ++step) {
+    const std::string path = "/ckpt/step" + std::to_string(step);
+    machine.run(nranks, [&](mpi::Rank& rank) {
+      const std::uint64_t bytes =
+          workloads::collperf_bytes_per_rank(rank.rank(), nranks, field);
+      std::vector<std::byte> local(bytes);
+      io::AccessPlan plan = workloads::collperf_plan(
+          rank.rank(), nranks, field, util::Payload::of(local));
+      // "Simulation state" for this step: a step-seeded pattern.
+      workloads::fill_pattern(plan, 100 + static_cast<std::uint64_t>(
+                                              step));
+
+      io::MPIFile file(rank, rank.world(), {&fs, &memory}, path,
+                       /*create=*/true, io::Hints{}, &driver);
+      file.write_all_plan(plan);  // checkpoint
+      rank.world().barrier();
+
+      // Restart: read the field back and verify every element.
+      std::vector<std::byte> restored(bytes);
+      io::AccessPlan restart = workloads::collperf_plan(
+          rank.rank(), nranks, field, util::Payload::of(restored));
+      file.read_all_plan(restart);
+      std::string err;
+      if (!workloads::verify_pattern(
+              restart, 100 + static_cast<std::uint64_t>(step), &err)) {
+        std::cerr << "step " << step << " rank " << rank.rank()
+                  << ": restart mismatch: " << err << "\n";
+      }
+      if (rank.rank() == 0) {
+        std::cout << "step " << step << ": checkpoint+restart verified, "
+                  << "virtual time " << rank.actor().now() << " s\n";
+      }
+    });
+  }
+  std::cout << "wrote " << steps << " checkpoints ("
+            << util::format_bytes(
+                   static_cast<std::uint64_t>(fs.total_bytes_written()))
+            << " total) via " << driver.name() << "\n";
+  return 0;
+}

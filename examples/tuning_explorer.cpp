@@ -1,0 +1,65 @@
+// Tuning explorer: measures the MCCIO runtime parameters (§3 ¶2) on a
+// user-described cluster and shows how the probe curves saturate —
+// useful for understanding what Msg_ind / N_ah / Msg_group mean.
+//
+//   ./tuning_explorer [--nodes=10] [--osts=32] [--ost-bw-mb=1000]
+#include <iostream>
+
+#include "core/tuner.h"
+#include "util/bytes.h"
+#include "util/cli.h"
+#include "util/table.h"
+
+using namespace mcio;
+
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  sim::ClusterConfig cluster;
+  cluster.num_nodes = static_cast<int>(cli.get_int("nodes", 10));
+  cluster.ranks_per_node = 12;
+  pfs::PfsConfig pfs;
+  pfs.num_osts = static_cast<int>(cli.get_int("osts", 32));
+  pfs.ost_write_bandwidth = cli.get_double("ost-bw-mb", 1000.0) * 1e6;
+  pfs.seek_latency = cli.get_double("seek-ms", 79.0) * 1e-3;
+  pfs.store_data = false;
+  cli.check_unused();
+
+  core::Tuner tuner(cluster, pfs);
+
+  std::cout << "# single-aggregator message-size probe (Msg_ind)\n";
+  util::Table probe({"message size", "one-node write bandwidth"});
+  for (std::uint64_t s = 1 << 20; s <= 128ull << 20; s <<= 1) {
+    const double bw = tuner.probe_write_bandwidth(
+        1, 1, s, std::max<std::uint64_t>(8 * s, 64ull << 20));
+    probe.add(util::format_bytes(s), util::format_mbps(bw));
+  }
+  probe.print(std::cout);
+
+  std::cout << "\n# aggregators-per-node probe (N_ah)\n";
+  util::Table nah({"aggregators on one node", "write bandwidth"});
+  for (int a = 1; a <= 4; ++a) {
+    const double bw =
+        tuner.probe_write_bandwidth(1, a, 32ull << 20, 256ull << 20);
+    nah.add(a, util::format_mbps(bw));
+  }
+  nah.print(std::cout);
+
+  std::cout << "\n# node-count probe (Msg_group saturation)\n";
+  util::Table width({"nodes writing", "system write bandwidth"});
+  for (int n = 1; n <= cluster.num_nodes; n *= 2) {
+    const double bw =
+        tuner.probe_write_bandwidth(n, 1, 32ull << 20, 128ull << 20);
+    width.add(n, util::format_mbps(bw));
+  }
+  width.print(std::cout);
+
+  std::cout << "\n# measured parameters\n";
+  const auto r = tuner.tune();
+  util::Table result({"parameter", "value"});
+  result.add("Msg_ind", util::format_bytes(r.msg_ind));
+  result.add("N_ah", r.n_ah);
+  result.add("Mem_min", util::format_bytes(r.mem_min));
+  result.add("Msg_group", util::format_bytes(r.msg_group));
+  result.print(std::cout);
+  return 0;
+}

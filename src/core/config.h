@@ -1,0 +1,34 @@
+// Runtime parameters of memory-conscious collective I/O (§3 ¶2).
+//
+// The paper determines these empirically per system; mccio::Tuner measures
+// them against the simulated cluster, and every ablation bench flips the
+// component switches.
+#pragma once
+
+#include <cstdint>
+
+namespace mcio::core {
+
+struct MccioConfig {
+  /// Msg_group: target workload bytes per aggregation group. 0 = auto
+  /// (derived from the workload span and node count).
+  std::uint64_t msg_group = 0;
+  /// Msg_ind: per-aggregator message size that saturates one node's I/O
+  /// path — the partition tree's leaf termination criterion. Seek-heavy
+  /// disk arrays keep rewarding larger streams, so the default is high;
+  /// the Tuner measures the real value per system.
+  std::uint64_t msg_ind = 128ull << 20;
+  /// Mem_min: minimum aggregation memory a host must offer. 0 = auto
+  /// (half the mean node availability, floored at 1 MiB and lowered to
+  /// the best available node when nothing qualifies).
+  std::uint64_t mem_min = 0;
+  /// N_ah: maximum aggregators per physical node.
+  int n_ah = 2;
+
+  // Component switches (ablations).
+  bool group_division = true;   ///< §3.1 off → one global group
+  bool remerging = true;        ///< §3.2 off → never merge domains
+  bool memory_aware = true;     ///< §3.3 off → ignore Mem_avl ordering
+};
+
+}  // namespace mcio::core

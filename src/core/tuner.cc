@@ -1,0 +1,136 @@
+#include "core/tuner.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "mpi/comm.h"
+#include "mpi/machine.h"
+#include "util/bytes.h"
+#include "util/check.h"
+
+namespace mcio::core {
+
+MccioConfig TunerResult::to_config() const {
+  MccioConfig cfg;
+  cfg.msg_ind = msg_ind;
+  cfg.n_ah = n_ah;
+  cfg.mem_min = mem_min;
+  cfg.msg_group = msg_group;
+  return cfg;
+}
+
+double Tuner::probe_write_bandwidth(int nodes_used, int aggs_per_node,
+                                    std::uint64_t msg_bytes,
+                                    std::uint64_t total_per_agg) const {
+  MCIO_CHECK_GE(nodes_used, 1);
+  MCIO_CHECK_GE(aggs_per_node, 1);
+  MCIO_CHECK_LE(aggs_per_node, cluster_.ranks_per_node);
+  MCIO_CHECK_GT(msg_bytes, 0u);
+  mpi::Machine machine(cluster_);
+  pfs::PfsConfig pcfg = pfs_;
+  pcfg.store_data = false;
+  pfs::Pfs fs(machine.cluster(), pcfg);
+  const pfs::FileHandle fh = fs.create("/probe");
+
+  const int nranks = nodes_used * cluster_.ranks_per_node;
+  const std::uint64_t per_agg = total_per_agg;
+  const int writers_per_node = aggs_per_node;
+  double total_written = 0.0;
+
+  const auto finish = machine.run(nranks, [&](mpi::Rank& rank) {
+    const int on_node = rank.rank() % cluster_.ranks_per_node;
+    if (on_node >= writers_per_node) return;
+    const int writer_index =
+        rank.node() * writers_per_node + on_node;
+    std::uint64_t offset = static_cast<std::uint64_t>(writer_index) *
+                           per_agg;
+    std::uint64_t left = per_agg;
+    while (left > 0) {
+      const std::uint64_t n = std::min(left, msg_bytes);
+      fs.write(rank.actor(), fh,
+               offset, util::ConstPayload::virtual_bytes(n));
+      offset += n;
+      left -= n;
+    }
+  });
+  (void)finish;
+  total_written = static_cast<double>(per_agg) * nodes_used *
+                  writers_per_node;
+  sim::SimTime makespan = 0.0;
+  for (const sim::SimTime t : finish) makespan = std::max(makespan, t);
+  MCIO_CHECK_GT(makespan, 0.0);
+  return total_written / makespan;
+}
+
+TunerResult Tuner::tune() const {
+  TunerResult result;
+  using util::kMiB;
+
+  // --- Msg_ind: smallest per-request size reaching ~90 % of the one-node
+  // plateau.
+  std::vector<std::uint64_t> sizes;
+  for (std::uint64_t s = kMiB; s <= 128 * kMiB; s *= 2) sizes.push_back(s);
+  std::vector<double> bw;
+  bw.reserve(sizes.size());
+  for (const std::uint64_t s : sizes) {
+    bw.push_back(probe_write_bandwidth(1, 1, s,
+                                       std::max<std::uint64_t>(
+                                           8 * s, 64 * kMiB)));
+  }
+  const double plateau = *std::max_element(bw.begin(), bw.end());
+  result.msg_ind = sizes.back();
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    if (bw[i] >= 0.9 * plateau) {
+      result.msg_ind = sizes[i];
+      break;
+    }
+  }
+
+  // --- N_ah: add aggregators on one node while the marginal gain stays
+  // above 10 %.
+  result.n_ah = 1;
+  double prev = probe_write_bandwidth(1, 1, result.msg_ind,
+                                      8 * result.msg_ind);
+  const int max_aggs = std::min(4, cluster_.ranks_per_node);
+  for (int a = 2; a <= max_aggs; ++a) {
+    const double cur = probe_write_bandwidth(1, a, result.msg_ind,
+                                             8 * result.msg_ind);
+    if (cur < prev * 1.10) break;
+    result.n_ah = a;
+    prev = cur;
+  }
+
+  // --- Mem_min: memory one host needs to run its aggregators at Msg_ind.
+  result.mem_min = static_cast<std::uint64_t>(result.n_ah) *
+                   result.msg_ind;
+
+  // --- Msg_group: widen across nodes until the file system saturates;
+  // the group message size is the workload slice that keeps one group's
+  // aggregators at the saturation point.
+  std::vector<int> node_counts;
+  for (int n = 1; n <= cluster_.num_nodes; n *= 2) node_counts.push_back(n);
+  if (node_counts.back() != cluster_.num_nodes) {
+    node_counts.push_back(cluster_.num_nodes);
+  }
+  std::vector<double> sys_bw;
+  sys_bw.reserve(node_counts.size());
+  for (const int n : node_counts) {
+    sys_bw.push_back(probe_write_bandwidth(n, result.n_ah, result.msg_ind,
+                                           4 * result.msg_ind));
+  }
+  const double sys_plateau =
+      *std::max_element(sys_bw.begin(), sys_bw.end());
+  int sat_nodes = node_counts.back();
+  for (std::size_t i = 0; i < node_counts.size(); ++i) {
+    if (sys_bw[i] >= 0.9 * sys_plateau) {
+      sat_nodes = node_counts[i];
+      break;
+    }
+  }
+  result.msg_group = static_cast<std::uint64_t>(sat_nodes) *
+                     static_cast<std::uint64_t>(result.n_ah) *
+                     result.msg_ind;
+  return result;
+}
+
+}  // namespace mcio::core

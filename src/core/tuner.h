@@ -1,0 +1,48 @@
+// Run-time measurement of the MCCIO parameters (§3 ¶2).
+//
+// The paper determines N_ah, Msg_ind, Mem_min and Msg_group empirically
+// per system. The tuner does the same against the simulated cluster: it
+// probes the I/O path with streaming micro-benchmarks — increasing message
+// sizes until one aggregator saturates its node's path (Msg_ind), adding
+// aggregators per node until the marginal gain vanishes (N_ah), and
+// widening across nodes until the file system saturates (Msg_group).
+#pragma once
+
+#include <cstdint>
+
+#include "core/config.h"
+#include "pfs/pfs.h"
+#include "sim/topology.h"
+
+namespace mcio::core {
+
+struct TunerResult {
+  std::uint64_t msg_ind = 0;
+  int n_ah = 1;
+  std::uint64_t mem_min = 0;
+  std::uint64_t msg_group = 0;
+
+  /// MccioConfig with the measured parameters filled in.
+  MccioConfig to_config() const;
+};
+
+class Tuner {
+ public:
+  Tuner(const sim::ClusterConfig& cluster, const pfs::PfsConfig& pfs)
+      : cluster_(cluster), pfs_(pfs) {}
+
+  TunerResult tune() const;
+
+  /// One probe: `nodes_used` nodes host `aggs_per_node` writers each, all
+  /// streaming `total_per_agg` bytes in `msg_bytes` chunks to disjoint
+  /// regions of one striped file. Returns aggregate bytes/second.
+  double probe_write_bandwidth(int nodes_used, int aggs_per_node,
+                               std::uint64_t msg_bytes,
+                               std::uint64_t total_per_agg) const;
+
+ private:
+  sim::ClusterConfig cluster_;
+  pfs::PfsConfig pfs_;
+};
+
+}  // namespace mcio::core

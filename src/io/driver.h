@@ -1,0 +1,45 @@
+// Collective driver interface.
+#pragma once
+
+#include "io/hints.h"
+#include "io/plan.h"
+#include "metrics/collective_stats.h"
+#include "mpi/comm.h"
+#include "mpi/machine.h"
+#include "node/memory.h"
+#include "pfs/pfs.h"
+
+namespace mcio::io {
+
+/// Everything a collective operation needs, bundled per participating
+/// rank. All ranks of `comm` must call the driver with contexts naming the
+/// same file and services.
+struct CollContext {
+  mpi::Rank* rank = nullptr;
+  mpi::Comm* comm = nullptr;
+  pfs::Pfs* fs = nullptr;
+  pfs::FileHandle file = -1;
+  node::MemoryManager* memory = nullptr;
+  Hints hints;
+  /// Optional instrumentation sink (shared across ranks; single-threaded
+  /// simulation makes that safe). May be null.
+  metrics::CollectiveStats* stats = nullptr;
+};
+
+/// A collective read/write strategy. Implementations: TwoPhaseDriver (the
+/// ROMIO baseline) and core::MccioDriver (the paper's contribution).
+class CollectiveDriver {
+ public:
+  virtual ~CollectiveDriver() = default;
+
+  /// Collectively writes every rank's plan. Must be called by all ranks of
+  /// ctx.comm (ranks with empty plans still participate).
+  virtual void write_all(CollContext& ctx, const AccessPlan& plan) = 0;
+
+  /// Collectively reads every rank's plan.
+  virtual void read_all(CollContext& ctx, const AccessPlan& plan) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace mcio::io

@@ -1,0 +1,404 @@
+#include "io/exchange.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace mcio::io {
+
+using util::ConstPayload;
+using util::Extent;
+using util::ExtentList;
+using util::Payload;
+using util::Piece;
+
+void ExchangePlan::validate(int comm_size) const {
+  MCIO_CHECK_EQ(rank_bounds.size(), static_cast<std::size_t>(comm_size));
+  for (std::size_t i = 0; i < domains.size(); ++i) {
+    const FileDomain& d = domains[i];
+    MCIO_CHECK_MSG(!d.extent.empty(), "empty file domain " << i);
+    MCIO_CHECK_GE(d.aggregator, 0);
+    MCIO_CHECK_LT(d.aggregator, comm_size);
+    MCIO_CHECK_GT(d.buffer_bytes, 0u);
+    if (i > 0) {
+      MCIO_CHECK_MSG(domains[i - 1].extent.end() <= d.extent.offset,
+                     "file domains unsorted or overlapping at " << i);
+    }
+  }
+}
+
+TwoPhaseExchange::PieceCursor::PieceCursor(
+    const std::vector<Extent>& extents)
+    : extents_(extents) {}
+
+std::vector<Piece> TwoPhaseExchange::PieceCursor::advance(
+    const Extent& window) {
+  while (idx_ < extents_.size() &&
+         extents_[idx_].end() <= window.offset) {
+    buf_prefix_ += extents_[idx_].len;
+    ++idx_;
+  }
+  std::vector<Piece> out;
+  std::size_t j = idx_;
+  std::uint64_t prefix = buf_prefix_;
+  while (j < extents_.size() && extents_[j].offset < window.end()) {
+    if (const auto x = util::intersect(extents_[j], window)) {
+      out.push_back(Piece{x->offset,
+                          prefix + (x->offset - extents_[j].offset),
+                          x->len});
+    }
+    prefix += extents_[j].len;
+    ++j;
+  }
+  return out;
+}
+
+TwoPhaseExchange::TwoPhaseExchange(CollContext& ctx, const AccessPlan& plan,
+                                   ExchangePlan xplan)
+    : ctx_(ctx), plan_(plan), xplan_(std::move(xplan)) {
+  MCIO_CHECK(ctx_.comm != nullptr);
+  MCIO_CHECK(ctx_.fs != nullptr);
+  MCIO_CHECK(ctx_.memory != nullptr);
+  xplan_.validate(ctx_.comm->size());
+  tag_lists_ = ctx_.comm->reserve_tags(1);
+  tag_data_base_ =
+      ctx_.comm->reserve_tags(std::max<int>(1, static_cast<int>(
+                                                   xplan_.domains.size())));
+  const Extent mine =
+      xplan_.rank_bounds[static_cast<std::size_t>(my_rank())];
+  for (std::size_t i = 0; i < xplan_.domains.size(); ++i) {
+    const FileDomain& d = xplan_.domains[i];
+    if (d.aggregator == my_rank()) {
+      owned_.push_back(DomainWork{static_cast<int>(i), {}});
+    }
+    if (!mine.empty() && util::intersect(mine, d.extent)) {
+      client_domains_.push_back(static_cast<int>(i));
+    }
+  }
+}
+
+int TwoPhaseExchange::my_rank() const { return ctx_.comm->rank(); }
+
+int TwoPhaseExchange::my_node() const {
+  return ctx_.comm->node_of(ctx_.comm->rank());
+}
+
+sim::Actor& TwoPhaseExchange::actor() { return ctx_.rank->actor(); }
+
+void TwoPhaseExchange::charge_copy(int node, std::uint64_t bytes,
+                                   double bw_scale) {
+  actor().sync();
+  const sim::SimTime done =
+      ctx_.rank->machine().cluster().membus(node).serve(
+          actor().now(), static_cast<double>(bytes), bw_scale);
+  actor().advance_to(done);
+}
+
+std::vector<Extent> TwoPhaseExchange::windows_of(const FileDomain& d)
+    const {
+  std::vector<Extent> out;
+  std::uint64_t pos = d.extent.offset;
+  const std::uint64_t end = d.extent.end();
+  while (pos < end) {
+    const std::uint64_t n = std::min<std::uint64_t>(d.buffer_bytes,
+                                                    end - pos);
+    out.push_back(Extent{pos, n});
+    pos += n;
+  }
+  return out;
+}
+
+void TwoPhaseExchange::send_extent_lists() {
+  const ExtentList local = ExtentList::normalize(plan_.extents);
+  for (const int di : client_domains_) {
+    const FileDomain& d = xplan_.domains[static_cast<std::size_t>(di)];
+    const ExtentList part = local.clipped(d.extent);
+    const auto& runs = part.runs();
+    ctx_.comm->send_blob(
+        d.aggregator, tag_lists_,
+        std::span<const std::byte>(
+            reinterpret_cast<const std::byte*>(runs.data()),
+            runs.size() * sizeof(Extent)));
+  }
+}
+
+void TwoPhaseExchange::recv_extent_lists() {
+  for (DomainWork& work : owned_) {
+    const FileDomain& d =
+        xplan_.domains[static_cast<std::size_t>(work.index)];
+    for (int s = 0; s < ctx_.comm->size(); ++s) {
+      const Extent b = xplan_.rank_bounds[static_cast<std::size_t>(s)];
+      if (b.empty() || !util::intersect(b, d.extent)) continue;
+      const auto blob = ctx_.comm->recv_blob(s, tag_lists_);
+      MCIO_CHECK_EQ(blob.size() % sizeof(Extent), 0u);
+      std::vector<Extent> runs(blob.size() / sizeof(Extent));
+      if (!runs.empty()) {
+        std::memcpy(runs.data(), blob.data(), blob.size());
+      }
+      ExtentList list = ExtentList::normalize(std::move(runs));
+      if (!list.empty()) work.per_source.emplace(s, std::move(list));
+    }
+  }
+}
+
+void TwoPhaseExchange::client_send_data() {
+  PieceCursor cursor(plan_.extents);
+  for (const int di : client_domains_) {
+    const FileDomain& d = xplan_.domains[static_cast<std::size_t>(di)];
+    for (const Extent& w : windows_of(d)) {
+      const auto pieces = cursor.advance(w);
+      if (pieces.empty()) continue;
+      std::uint64_t total = 0;
+      for (const Piece& p : pieces) total += p.len;
+      // Packing cost (skipped when the data is already one run).
+      if (pieces.size() > 1) charge_copy(my_node(), total, 1.0);
+      if (xplan_.real_data) {
+        std::vector<std::byte> tmp(total);
+        std::uint64_t off = 0;
+        for (const Piece& p : pieces) {
+          std::memcpy(tmp.data() + off, plan_.buffer.data + p.buf_offset,
+                      p.len);
+          off += p.len;
+        }
+        ctx_.comm->send(d.aggregator, tag_data_base_ + di,
+                        ConstPayload::of(tmp));
+      } else {
+        ctx_.comm->send(d.aggregator, tag_data_base_ + di,
+                        ConstPayload::virtual_bytes(total));
+      }
+    }
+  }
+}
+
+void TwoPhaseExchange::aggregator_write() {
+  for (DomainWork& work : owned_) {
+    const FileDomain& d =
+        xplan_.domains[static_cast<std::size_t>(work.index)];
+    actor().sync();
+    node::Lease lease = ctx_.memory->lease(my_node(), d.buffer_bytes);
+    // Copies through an overcommitted buffer page against the memory bus;
+    // file-system transfers page against the NIC path.
+    const double io_scale = ctx_.memory->bw_scale_for(
+        lease.pressure(), ctx_.rank->machine().config().nic_bandwidth);
+    metrics::AggregatorRecord rec;
+    rec.rank = my_rank();
+    rec.node = my_node();
+    rec.buffer_bytes = d.buffer_bytes;
+    rec.pressure = lease.pressure();
+    std::vector<std::byte> cb;
+    if (xplan_.real_data) {
+      cb.resize(std::min<std::uint64_t>(d.buffer_bytes, d.extent.len));
+    }
+    for (const Extent& w : windows_of(d)) {
+      ExtentList cover;
+      std::vector<std::pair<int, ExtentList>> srcs;
+      for (const auto& [s, list] : work.per_source) {
+        ExtentList c = list.clipped(w);
+        if (c.empty()) continue;
+        cover.merge(c);
+        srcs.emplace_back(s, std::move(c));
+      }
+      if (cover.empty()) continue;
+      ++rec.rounds;
+      const Extent span = cover.bounds();
+      const bool holes = !cover.contiguous();
+
+      // Post all receives for this window, then (if the window has holes
+      // and sieving is on) pre-read the span — ROMIO's read-modify-write.
+      std::vector<mpi::Request> reqs;
+      std::vector<std::vector<std::byte>> tmps;
+      std::vector<std::uint64_t> sizes;
+      reqs.reserve(srcs.size());
+      tmps.reserve(srcs.size());
+      sizes.reserve(srcs.size());
+      for (const auto& [s, c] : srcs) {
+        const std::uint64_t n = c.total_bytes();
+        sizes.push_back(n);
+        if (xplan_.real_data) {
+          tmps.emplace_back(n);
+          reqs.push_back(ctx_.comm->irecv(s, tag_data_base_ + work.index,
+                                          Payload::of(tmps.back())));
+        } else {
+          tmps.emplace_back();
+          reqs.push_back(ctx_.comm->irecv(s, tag_data_base_ + work.index,
+                                          Payload::virtual_bytes(n)));
+        }
+      }
+      const bool rmw = holes && ctx_.hints.data_sieving_writes;
+      if (rmw) {
+        Payload stage =
+            xplan_.real_data
+                ? Payload::real(cb.data() + (span.offset - w.offset),
+                                span.len)
+                : Payload::virtual_bytes(span.len);
+        ctx_.fs->read(actor(), ctx_.file, span.offset, stage, io_scale);
+        if (ctx_.stats != nullptr) ctx_.stats->record_rmw(span.len);
+      }
+      ctx_.comm->waitall(reqs);
+
+      // Overlay received pieces into the collective buffer.
+      for (std::size_t i = 0; i < srcs.size(); ++i) {
+        const auto& [s, c] = srcs[i];
+        charge_copy(my_node(), sizes[i], lease.bw_scale());
+        if (xplan_.real_data) {
+          std::uint64_t off = 0;
+          for (const Extent& run : c.runs()) {
+            std::memcpy(cb.data() + (run.offset - w.offset),
+                        tmps[i].data() + off, run.len);
+            off += run.len;
+          }
+        }
+        rec.bytes_received += sizes[i];
+        if (ctx_.stats != nullptr) {
+          ctx_.stats->record_shuffle(ctx_.comm->node_of(s), my_node(),
+                                     sizes[i]);
+        }
+      }
+
+      // Ship the window to the file system.
+      auto slice_of = [&](const Extent& e) {
+        return xplan_.real_data
+                   ? ConstPayload::real(cb.data() + (e.offset - w.offset),
+                                        e.len)
+                   : ConstPayload::virtual_bytes(e.len);
+      };
+      if (rmw || !holes) {
+        const Extent out = rmw ? span : cover.runs().front();
+        ctx_.fs->write(actor(), ctx_.file, out.offset, slice_of(out),
+                       io_scale);
+        rec.io_bytes += out.len;
+        if (ctx_.stats != nullptr) ctx_.stats->record_io(out.len);
+      } else {
+        for (const Extent& run : cover.runs()) {
+          ctx_.fs->write(actor(), ctx_.file, run.offset, slice_of(run),
+                         io_scale);
+          rec.io_bytes += run.len;
+          if (ctx_.stats != nullptr) ctx_.stats->record_io(run.len);
+        }
+      }
+    }
+    lease.release();
+    if (ctx_.stats != nullptr) ctx_.stats->record_aggregator(rec);
+  }
+}
+
+void TwoPhaseExchange::aggregator_read() {
+  for (DomainWork& work : owned_) {
+    const FileDomain& d =
+        xplan_.domains[static_cast<std::size_t>(work.index)];
+    actor().sync();
+    node::Lease lease = ctx_.memory->lease(my_node(), d.buffer_bytes);
+    // Copies through an overcommitted buffer page against the memory bus;
+    // file-system transfers page against the NIC path.
+    const double io_scale = ctx_.memory->bw_scale_for(
+        lease.pressure(), ctx_.rank->machine().config().nic_bandwidth);
+    metrics::AggregatorRecord rec;
+    rec.rank = my_rank();
+    rec.node = my_node();
+    rec.buffer_bytes = d.buffer_bytes;
+    rec.pressure = lease.pressure();
+    std::vector<std::byte> cb;
+    if (xplan_.real_data) {
+      cb.resize(std::min<std::uint64_t>(d.buffer_bytes, d.extent.len));
+    }
+    for (const Extent& w : windows_of(d)) {
+      ExtentList cover;
+      std::vector<std::pair<int, ExtentList>> srcs;
+      for (const auto& [s, list] : work.per_source) {
+        ExtentList c = list.clipped(w);
+        if (c.empty()) continue;
+        cover.merge(c);
+        srcs.emplace_back(s, std::move(c));
+      }
+      if (cover.empty()) continue;
+      ++rec.rounds;
+      // Data-sieving read: one contiguous read covering the span.
+      const Extent span = cover.bounds();
+      Payload stage =
+          xplan_.real_data
+              ? Payload::real(cb.data() + (span.offset - w.offset),
+                              span.len)
+              : Payload::virtual_bytes(span.len);
+      ctx_.fs->read(actor(), ctx_.file, span.offset, stage, io_scale);
+      rec.io_bytes += span.len;
+      if (ctx_.stats != nullptr) ctx_.stats->record_io(span.len);
+
+      for (const auto& [s, c] : srcs) {
+        const std::uint64_t n = c.total_bytes();
+        charge_copy(my_node(), n, lease.bw_scale());  // pack
+        if (xplan_.real_data) {
+          std::vector<std::byte> tmp(n);
+          std::uint64_t off = 0;
+          for (const Extent& run : c.runs()) {
+            std::memcpy(tmp.data() + off,
+                        cb.data() + (run.offset - w.offset), run.len);
+            off += run.len;
+          }
+          ctx_.comm->send(s, tag_data_base_ + work.index,
+                          ConstPayload::of(tmp));
+        } else {
+          ctx_.comm->send(s, tag_data_base_ + work.index,
+                          ConstPayload::virtual_bytes(n));
+        }
+        rec.bytes_sent += n;
+        if (ctx_.stats != nullptr) {
+          ctx_.stats->record_shuffle(my_node(), ctx_.comm->node_of(s), n);
+        }
+      }
+    }
+    lease.release();
+    if (ctx_.stats != nullptr) ctx_.stats->record_aggregator(rec);
+  }
+}
+
+void TwoPhaseExchange::client_recv_data() {
+  PieceCursor cursor(plan_.extents);
+  for (const int di : client_domains_) {
+    const FileDomain& d = xplan_.domains[static_cast<std::size_t>(di)];
+    for (const Extent& w : windows_of(d)) {
+      const auto pieces = cursor.advance(w);
+      if (pieces.empty()) continue;
+      std::uint64_t total = 0;
+      for (const Piece& p : pieces) total += p.len;
+      if (xplan_.real_data) {
+        std::vector<std::byte> tmp(total);
+        ctx_.comm->recv(d.aggregator, tag_data_base_ + di,
+                        Payload::of(tmp));
+        std::uint64_t off = 0;
+        for (const Piece& p : pieces) {
+          std::memcpy(plan_.buffer.data + p.buf_offset, tmp.data() + off,
+                      p.len);
+          off += p.len;
+        }
+      } else {
+        ctx_.comm->recv(d.aggregator, tag_data_base_ + di,
+                        Payload::virtual_bytes(total));
+      }
+      // Scatter cost (skipped when the data is one run).
+      if (pieces.size() > 1) charge_copy(my_node(), total, 1.0);
+    }
+  }
+}
+
+void TwoPhaseExchange::write() {
+  if (ctx_.stats != nullptr && my_rank() == 0) {
+    ctx_.stats->set_groups(xplan_.num_groups);
+  }
+  send_extent_lists();
+  recv_extent_lists();
+  client_send_data();
+  aggregator_write();
+}
+
+void TwoPhaseExchange::read() {
+  if (ctx_.stats != nullptr && my_rank() == 0) {
+    ctx_.stats->set_groups(xplan_.num_groups);
+  }
+  send_extent_lists();
+  recv_extent_lists();
+  aggregator_read();
+  client_recv_data();
+}
+
+}  // namespace mcio::io

@@ -1,0 +1,110 @@
+// The generalized two-phase shuffle engine.
+//
+// Both collective drivers reduce to the same machinery once file domains
+// and aggregators are chosen: clients ship the extents of their request to
+// each relevant aggregator, then data moves in cb_buffer-sized windows —
+// clients→aggregators→PFS for writes, PFS→aggregators→clients for reads.
+// The baseline ROMIO driver feeds this engine an even partition with one
+// aggregator per node and a fixed buffer; the MCCIO driver feeds it the
+// partition-tree domains with memory-aware aggregators and per-domain
+// buffers. Sharing the engine means both strategies are compared on
+// exactly the same transport mechanics, differing only in the decisions
+// the paper is about.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "io/driver.h"
+#include "util/extent.h"
+
+namespace mcio::io {
+
+/// One file domain: a contiguous byte range served by one aggregator with
+/// an aggregation buffer of `buffer_bytes`.
+struct FileDomain {
+  util::Extent extent;
+  int aggregator = -1;  ///< rank within the collective communicator
+  std::uint64_t buffer_bytes = 0;
+
+  friend bool operator==(const FileDomain&, const FileDomain&) = default;
+};
+
+/// The decisions a driver hands to the exchange engine. Every rank of the
+/// communicator must pass an identical ExchangePlan (drivers compute it
+/// from allgathered metadata, so this holds by construction).
+struct ExchangePlan {
+  std::vector<FileDomain> domains;  ///< sorted by offset, disjoint
+  /// Per-rank request bounds (len 0 = rank has no data). Used to decide
+  /// who exchanges extent lists with whom, exactly like ROMIO's
+  /// st_offsets/end_offsets arrays.
+  std::vector<util::Extent> rank_bounds;
+  /// Whether payloads are real bytes (tests) or virtual (paper-scale).
+  bool real_data = true;
+  /// Number of aggregation groups (metrics only; 1 for the baseline).
+  int num_groups = 1;
+
+  void validate(int comm_size) const;
+};
+
+/// Runs one collective write or read. Construct per operation.
+class TwoPhaseExchange {
+ public:
+  TwoPhaseExchange(CollContext& ctx, const AccessPlan& plan,
+                   ExchangePlan xplan);
+
+  void write();
+  void read();
+
+ private:
+  /// Advancing cursor over the local plan's extents; windows must be
+  /// queried in increasing file order (amortized O(1) per extent).
+  class PieceCursor {
+   public:
+    explicit PieceCursor(const std::vector<util::Extent>& extents);
+    /// Pieces of the plan inside `window` with packed buffer offsets.
+    std::vector<util::Piece> advance(const util::Extent& window);
+
+   private:
+    const std::vector<util::Extent>& extents_;
+    std::size_t idx_ = 0;
+    std::uint64_t buf_prefix_ = 0;
+  };
+
+  struct DomainWork {
+    int index = -1;  ///< index into xplan_.domains
+    /// Per-source clipped extent lists (aggregator side).
+    std::map<int, util::ExtentList> per_source;
+  };
+
+  // Phase helpers.
+  void send_extent_lists();
+  void recv_extent_lists();
+  void client_send_data();
+  void aggregator_write();
+  void aggregator_read();
+  void client_recv_data();
+
+  /// Windows of a domain in increasing order.
+  std::vector<util::Extent> windows_of(const FileDomain& d) const;
+
+  int my_rank() const;
+  int my_node() const;
+  sim::Actor& actor();
+
+  /// Charges a packing/scatter memcpy on `node` and advances the actor.
+  void charge_copy(int node, std::uint64_t bytes, double bw_scale);
+
+  CollContext& ctx_;
+  const AccessPlan& plan_;
+  ExchangePlan xplan_;
+  int tag_lists_ = 0;
+  int tag_data_base_ = 0;
+  /// Domains this rank serves as aggregator, ascending by index.
+  std::vector<DomainWork> owned_;
+  /// Domain indices whose extent intersects this rank's bounds, ascending.
+  std::vector<int> client_domains_;
+};
+
+}  // namespace mcio::io

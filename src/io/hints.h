@@ -1,0 +1,23 @@
+// MPI-IO style hints controlling the collective drivers (the subset of
+// ROMIO's cb_* / striping hints this library honours).
+#pragma once
+
+#include <cstdint>
+
+namespace mcio::io {
+
+struct Hints {
+  /// Aggregation (collective) buffer per aggregator — ROMIO cb_buffer_size.
+  std::uint64_t cb_buffer_size = 16ull << 20;
+  /// Number of aggregator hosts; -1 = one aggregator process per node
+  /// (ROMIO's default cb_config_list behaviour).
+  int cb_nodes = -1;
+  /// Align file-domain boundaries to the file system stripe unit.
+  bool align_file_domains = true;
+  /// Enable read-modify-write (data sieving) for write windows with holes.
+  bool data_sieving_writes = true;
+  /// Max gap (bytes) bridged by a data-sieving read in independent I/O.
+  std::uint64_t ds_max_gap = 256ull << 10;
+};
+
+}  // namespace mcio::io

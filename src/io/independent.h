@@ -1,0 +1,31 @@
+// Independent (non-collective) I/O, with data sieving for noncontiguous
+// reads — the strategy collective I/O is measured against, and the
+// fallback ROMIO uses outside collective calls.
+#pragma once
+
+#include "io/driver.h"
+
+namespace mcio::io {
+
+/// Writes the plan directly, one file-system request per extent (the
+/// "many small noncontiguous requests" pattern the paper's §1 describes).
+void independent_write(CollContext& ctx, const AccessPlan& plan);
+
+/// Reads the plan. Extents whose gaps are at most hints.ds_max_gap are
+/// served by one sieving read spanning them (ROMIO's data sieving).
+void independent_read(CollContext& ctx, const AccessPlan& plan);
+
+/// CollectiveDriver adapter: every rank performs independent I/O with no
+/// coordination. Used by benches as the no-collective baseline.
+class IndependentDriver final : public CollectiveDriver {
+ public:
+  void write_all(CollContext& ctx, const AccessPlan& plan) override {
+    independent_write(ctx, plan);
+  }
+  void read_all(CollContext& ctx, const AccessPlan& plan) override {
+    independent_read(ctx, plan);
+  }
+  const char* name() const override { return "independent"; }
+};
+
+}  // namespace mcio::io

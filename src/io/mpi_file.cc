@@ -1,0 +1,100 @@
+#include "io/mpi_file.h"
+
+#include "io/independent.h"
+#include "util/check.h"
+
+namespace mcio::io {
+
+MPIFile::MPIFile(mpi::Rank& rank, mpi::Comm& comm, Services services,
+                 const std::string& path, bool create, Hints hints,
+                 CollectiveDriver* driver) {
+  MCIO_CHECK(services.fs != nullptr);
+  MCIO_CHECK(services.memory != nullptr);
+  ctx_.rank = &rank;
+  ctx_.comm = &comm;
+  ctx_.fs = services.fs;
+  ctx_.memory = services.memory;
+  ctx_.hints = hints;
+  driver_ = driver != nullptr ? driver : &default_driver_;
+  // Collective open: rank 0 creates, everyone opens after the barrier.
+  if (comm.rank() == 0 && create) {
+    ctx_.file = services.fs->create(path);
+  }
+  comm.barrier();
+  ctx_.file = services.fs->open(path);
+}
+
+void MPIFile::set_view(std::uint64_t disp, mpi::Datatype filetype) {
+  MCIO_CHECK_GT(filetype.size(), 0u);
+  view_disp_ = disp;
+  view_type_ = std::make_unique<mpi::Datatype>(std::move(filetype));
+  view_consumed_ = 0;
+}
+
+AccessPlan MPIFile::plan_through_view(util::Payload buffer) const {
+  MCIO_CHECK_MSG(view_type_ != nullptr,
+                 "write_all/read_all require set_view first");
+  // Flatten enough of the tiled view for all consumed + new data, then
+  // drop the already-consumed prefix.
+  auto extents = view_type_->flatten_bytes(view_disp_,
+                                           view_consumed_ + buffer.size);
+  std::uint64_t to_drop = view_consumed_;
+  std::vector<util::Extent> rest;
+  rest.reserve(extents.size());
+  for (const util::Extent& e : extents) {
+    if (to_drop >= e.len) {
+      to_drop -= e.len;
+      continue;
+    }
+    rest.push_back(util::Extent{e.offset + to_drop, e.len - to_drop});
+    to_drop = 0;
+  }
+  AccessPlan plan;
+  plan.extents = std::move(rest);
+  plan.buffer = buffer;
+  plan.validate();
+  return plan;
+}
+
+void MPIFile::write_all(util::ConstPayload data) {
+  // The buffer is only read on the write path; AccessPlan carries a
+  // mutable payload for symmetry with reads.
+  const AccessPlan plan = plan_through_view(
+      util::Payload{const_cast<std::byte*>(data.data), data.size});
+  driver_->write_all(ctx_, plan);
+  view_consumed_ += data.size;
+}
+
+void MPIFile::read_all(util::Payload data) {
+  const AccessPlan plan = plan_through_view(data);
+  driver_->read_all(ctx_, plan);
+  view_consumed_ += data.size;
+}
+
+void MPIFile::write_all_plan(const AccessPlan& plan) {
+  driver_->write_all(ctx_, plan);
+}
+
+void MPIFile::read_all_plan(const AccessPlan& plan) {
+  driver_->read_all(ctx_, plan);
+}
+
+void MPIFile::write_at(std::uint64_t offset, util::ConstPayload data) {
+  if (data.size == 0) return;
+  AccessPlan plan;
+  plan.extents.push_back(util::Extent{offset, data.size});
+  plan.buffer = util::Payload{const_cast<std::byte*>(data.data), data.size};
+  independent_write(ctx_, plan);
+}
+
+void MPIFile::read_at(std::uint64_t offset, util::Payload data) {
+  if (data.size == 0) return;
+  AccessPlan plan;
+  plan.extents.push_back(util::Extent{offset, data.size});
+  plan.buffer = data;
+  independent_read(ctx_, plan);
+}
+
+std::uint64_t MPIFile::size() const { return ctx_.fs->file_size(ctx_.file); }
+
+}  // namespace mcio::io

@@ -1,0 +1,68 @@
+// MPIFile: the user-facing MPI-IO style file handle.
+//
+// Mirrors the MPI_File_* subset the paper's benchmarks exercise:
+// collective open, file views built from derived datatypes, independent
+// read/write_at, and collective read/write_all dispatched to a pluggable
+// collective driver (two-phase by default, MCCIO via core::MccioDriver).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "io/driver.h"
+#include "io/two_phase_driver.h"
+#include "mpi/datatype.h"
+
+namespace mcio::io {
+
+class MPIFile {
+ public:
+  struct Services {
+    pfs::Pfs* fs = nullptr;
+    node::MemoryManager* memory = nullptr;
+  };
+
+  /// Collective open: rank 0 creates/truncates (when `create` is set),
+  /// everyone else opens after a barrier. `driver` is non-owning; nullptr
+  /// selects the built-in two-phase driver.
+  MPIFile(mpi::Rank& rank, mpi::Comm& comm, Services services,
+          const std::string& path, bool create, Hints hints = Hints{},
+          CollectiveDriver* driver = nullptr);
+
+  /// Sets the file view: tiled `filetype` starting at byte `disp`
+  /// (MPI_File_set_view with etype = MPI_BYTE).
+  void set_view(std::uint64_t disp, mpi::Datatype filetype);
+
+  /// Collective write of `data.size` bytes through the view.
+  void write_all(util::ConstPayload data);
+  /// Collective read of `data.size` bytes through the view.
+  void read_all(util::Payload data);
+
+  /// Collective write/read of an explicit pre-flattened plan.
+  void write_all_plan(const AccessPlan& plan);
+  void read_all_plan(const AccessPlan& plan);
+
+  /// Independent I/O at an explicit offset (no view, no coordination).
+  void write_at(std::uint64_t offset, util::ConstPayload data);
+  void read_at(std::uint64_t offset, util::Payload data);
+
+  /// Attaches an instrumentation sink (shared across ranks).
+  void set_stats(metrics::CollectiveStats* stats) { ctx_.stats = stats; }
+
+  std::uint64_t size() const;
+  pfs::FileHandle handle() const { return ctx_.file; }
+  CollectiveDriver& driver() { return *driver_; }
+  const Hints& hints() const { return ctx_.hints; }
+
+ private:
+  AccessPlan plan_through_view(util::Payload buffer) const;
+
+  CollContext ctx_;
+  TwoPhaseDriver default_driver_;
+  CollectiveDriver* driver_ = nullptr;
+  std::uint64_t view_disp_ = 0;
+  std::unique_ptr<mpi::Datatype> view_type_;
+  std::uint64_t view_consumed_ = 0;  ///< bytes of data already consumed
+};
+
+}  // namespace mcio::io

@@ -1,0 +1,33 @@
+// Access plans: the flattened form of one process's I/O request.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/extent.h"
+#include "util/payload.h"
+
+namespace mcio::io {
+
+/// One process's request: file extents in increasing offset order, plus
+/// the (conceptually packed) user buffer laid out in the same order. The
+/// buffer may be virtual for timing-only runs.
+struct AccessPlan {
+  std::vector<util::Extent> extents;
+  util::Payload buffer;
+
+  std::uint64_t total_bytes() const;
+  /// Smallest extent covering the request; empty when the plan is empty.
+  util::Extent bounds() const;
+  bool empty() const { return extents.empty(); }
+
+  /// Throws util::Error unless extents are sorted, disjoint, non-empty
+  /// runs and the buffer size equals the total byte count.
+  void validate() const;
+};
+
+/// Builds a plan from possibly unsorted extents (merging adjacent runs).
+AccessPlan make_plan(std::vector<util::Extent> extents,
+                     util::Payload buffer);
+
+}  // namespace mcio::io

@@ -1,0 +1,97 @@
+#include "io/two_phase_driver.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/check.h"
+
+namespace mcio::io {
+
+using util::Extent;
+
+namespace {
+
+struct BoundsMsg {
+  std::uint64_t offset = 0;
+  std::uint64_t len = 0;
+  std::uint8_t is_virtual = 0;
+};
+
+std::uint64_t round_up(std::uint64_t v, std::uint64_t unit) {
+  return unit == 0 ? v : (v + unit - 1) / unit * unit;
+}
+
+}  // namespace
+
+std::vector<int> TwoPhaseDriver::default_aggregators(const mpi::Comm& comm,
+                                                     int cb_nodes) {
+  std::vector<int> aggs;
+  std::set<int> seen;
+  for (int r = 0; r < comm.size(); ++r) {
+    const int node = comm.node_of(r);
+    if (seen.insert(node).second) aggs.push_back(r);
+  }
+  if (cb_nodes > 0 && static_cast<int>(aggs.size()) > cb_nodes) {
+    aggs.resize(static_cast<std::size_t>(cb_nodes));
+  }
+  return aggs;
+}
+
+ExchangePlan TwoPhaseDriver::build_plan(CollContext& ctx,
+                                        const AccessPlan& plan) {
+  const Extent bounds = plan.bounds();
+  BoundsMsg mine{bounds.offset, bounds.len,
+                 static_cast<std::uint8_t>(
+                     plan.buffer.is_virtual() ? 1 : 0)};
+  const auto all = ctx.comm->allgather(mine);
+
+  ExchangePlan xplan;
+  xplan.rank_bounds.reserve(all.size());
+  bool any_virtual = false;
+  std::uint64_t gmin = UINT64_MAX;
+  std::uint64_t gmax = 0;
+  for (const BoundsMsg& b : all) {
+    xplan.rank_bounds.push_back(Extent{b.offset, b.len});
+    if (b.len > 0) {
+      any_virtual = any_virtual || b.is_virtual != 0;
+      gmin = std::min(gmin, b.offset);
+      gmax = std::max(gmax, b.offset + b.len);
+    }
+  }
+  xplan.real_data = !any_virtual;
+  xplan.num_groups = 1;
+  if (gmax <= gmin) return xplan;  // nothing to do anywhere
+
+  const auto aggs = default_aggregators(*ctx.comm, ctx.hints.cb_nodes);
+  const auto naggs = static_cast<std::uint64_t>(aggs.size());
+  std::uint64_t fd_size = (gmax - gmin + naggs - 1) / naggs;
+  if (ctx.hints.align_file_domains) {
+    fd_size = round_up(fd_size, ctx.fs->config().stripe_unit);
+  }
+  fd_size = std::max<std::uint64_t>(fd_size, 1);
+  for (std::uint64_t i = 0; i < naggs; ++i) {
+    const std::uint64_t start = gmin + i * fd_size;
+    if (start >= gmax) break;
+    const std::uint64_t len = std::min(fd_size, gmax - start);
+    FileDomain d;
+    d.extent = Extent{start, len};
+    d.aggregator = aggs[static_cast<std::size_t>(i)];
+    d.buffer_bytes = ctx.hints.cb_buffer_size;
+    xplan.domains.push_back(d);
+  }
+  return xplan;
+}
+
+void TwoPhaseDriver::write_all(CollContext& ctx, const AccessPlan& plan) {
+  plan.validate();
+  TwoPhaseExchange exchange(ctx, plan, build_plan(ctx, plan));
+  exchange.write();
+}
+
+void TwoPhaseDriver::read_all(CollContext& ctx, const AccessPlan& plan) {
+  plan.validate();
+  TwoPhaseExchange exchange(ctx, plan, build_plan(ctx, plan));
+  exchange.read();
+}
+
+}  // namespace mcio::io

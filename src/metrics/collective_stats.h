@@ -1,0 +1,78 @@
+// Instrumentation of one collective I/O operation.
+//
+// The paper's claims are about more than wall-clock: aggregator memory
+// consumption and its variance across aggregators, intra- vs inter-node
+// shuffle traffic, and read-modify-write overhead. The exchange engine
+// records all of it here.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "sim/time.h"
+#include "util/stats.h"
+
+namespace mcio::metrics {
+
+/// Per-aggregator record.
+struct AggregatorRecord {
+  int rank = -1;
+  int node = -1;
+  std::uint64_t buffer_bytes = 0;  ///< leased aggregation buffer
+  double pressure = 0.0;           ///< overcommit fraction of the lease
+  std::uint64_t bytes_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t io_bytes = 0;
+  int rounds = 0;
+};
+
+class CollectiveStats {
+ public:
+  void record_aggregator(const AggregatorRecord& record);
+  void record_shuffle(int src_node, int dst_node, std::uint64_t bytes);
+  void record_rmw(std::uint64_t bytes) { rmw_bytes_ += bytes; }
+  void record_io(std::uint64_t bytes) { io_bytes_ += bytes; }
+  void set_groups(int n) { num_groups_ = n; }
+  void set_elapsed(sim::SimTime t) { elapsed_ = t; }
+
+  const std::vector<AggregatorRecord>& aggregators() const {
+    return aggregators_;
+  }
+  int num_aggregators() const {
+    return static_cast<int>(aggregators_.size());
+  }
+  int num_groups() const { return num_groups_; }
+
+  /// Mean/stdev/min/max over per-aggregator buffer bytes — the paper's
+  /// "memory consumption and variance among processes".
+  util::RunningStats buffer_stats() const;
+  /// Mean/stdev over per-aggregator pressure.
+  util::RunningStats pressure_stats() const;
+
+  std::uint64_t shuffle_intra_node() const { return intra_node_bytes_; }
+  std::uint64_t shuffle_inter_node() const { return inter_node_bytes_; }
+  std::uint64_t shuffle_total() const {
+    return intra_node_bytes_ + inter_node_bytes_;
+  }
+  std::uint64_t rmw_bytes() const { return rmw_bytes_; }
+  std::uint64_t io_bytes() const { return io_bytes_; }
+  sim::SimTime elapsed() const { return elapsed_; }
+
+  /// Peak leased aggregation bytes per node (max over aggregators
+  /// co-located on the node).
+  std::map<int, std::uint64_t> per_node_buffer_bytes() const;
+
+  void clear();
+
+ private:
+  std::vector<AggregatorRecord> aggregators_;
+  std::uint64_t intra_node_bytes_ = 0;
+  std::uint64_t inter_node_bytes_ = 0;
+  std::uint64_t rmw_bytes_ = 0;
+  std::uint64_t io_bytes_ = 0;
+  int num_groups_ = 1;
+  sim::SimTime elapsed_ = 0.0;
+};
+
+}  // namespace mcio::metrics

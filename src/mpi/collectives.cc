@@ -1,0 +1,212 @@
+// Collective algorithms (binomial trees and dissemination), modelled on
+// the MPICH implementations that back ROMIO.
+#include <cstring>
+
+#include "mpi/comm.h"
+#include "mpi/machine.h"
+#include "util/check.h"
+
+namespace mcio::mpi {
+
+namespace {
+
+// Bundle serialization for variable-size gathers: u64 count, then per item
+// u64 rank, u64 length, raw bytes.
+void append_u64(std::vector<std::byte>& out, std::uint64_t v) {
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  out.insert(out.end(), p, p + sizeof(v));
+}
+
+std::uint64_t read_u64(const std::vector<std::byte>& in, std::size_t& pos) {
+  MCIO_CHECK_LE(pos + sizeof(std::uint64_t), in.size());
+  std::uint64_t v = 0;
+  std::memcpy(&v, in.data() + pos, sizeof(v));
+  pos += sizeof(v);
+  return v;
+}
+
+std::vector<std::byte> serialize_bundle(
+    const std::vector<std::pair<int, std::vector<std::byte>>>& items) {
+  std::vector<std::byte> out;
+  append_u64(out, items.size());
+  for (const auto& [rank, blob] : items) {
+    append_u64(out, static_cast<std::uint64_t>(rank));
+    append_u64(out, blob.size());
+    out.insert(out.end(), blob.begin(), blob.end());
+  }
+  return out;
+}
+
+std::vector<std::pair<int, std::vector<std::byte>>> parse_bundle(
+    const std::vector<std::byte>& in) {
+  std::size_t pos = 0;
+  const std::uint64_t count = read_u64(in, pos);
+  std::vector<std::pair<int, std::vector<std::byte>>> items;
+  items.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const int rank = static_cast<int>(read_u64(in, pos));
+    const std::uint64_t len = read_u64(in, pos);
+    MCIO_CHECK_LE(pos + len, in.size());
+    items.emplace_back(rank,
+                       std::vector<std::byte>(in.begin() + pos,
+                                              in.begin() + pos + len));
+    pos += len;
+  }
+  return items;
+}
+
+}  // namespace
+
+void Comm::barrier() {
+  const int tag = next_coll_tag();
+  const int p = size();
+  std::byte token{};
+  for (int k = 1; k < p; k <<= 1) {
+    const int to = (rank() + k) % p;
+    const int from = (rank() - k % p + p) % p;
+    Request r = irecv(from, tag, util::Payload::real(&token, 0));
+    send(to, tag, util::ConstPayload::real(&token, 0));
+    wait(r);
+  }
+}
+
+void Comm::bcast_bytes(util::Payload data, int root) {
+  const int tag = next_coll_tag();
+  const int p = size();
+  const int relative = (rank() - root + p) % p;
+  int mask = 1;
+  while (mask < p) {
+    if (relative & mask) {
+      const int src = (relative - mask + root) % p;
+      recv(src, tag, data);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (relative + mask < p) {
+      const int dst = (relative + mask + root) % p;
+      send(dst, tag, util::ConstPayload(data));
+    }
+    mask >>= 1;
+  }
+}
+
+void Comm::tree_gather(int tag, int root,
+                       std::vector<std::vector<std::byte>>& per_rank) {
+  const int p = size();
+  const int relative = (rank() - root + p) % p;
+  std::vector<std::pair<int, std::vector<std::byte>>> accumulated;
+  accumulated.emplace_back(rank(), std::move(per_rank[static_cast<
+                                       std::size_t>(rank())]));
+  int mask = 1;
+  while (mask < p) {
+    if ((relative & mask) == 0) {
+      const int src_rel = relative | mask;
+      if (src_rel < p) {
+        const int src = (src_rel + root) % p;
+        auto bundle = parse_bundle(recv_blob(src, tag));
+        for (auto& item : bundle) accumulated.push_back(std::move(item));
+      }
+    } else {
+      const int dst = ((relative & ~mask) + root) % p;
+      const auto blob = serialize_bundle(accumulated);
+      send_blob(dst, tag, blob);
+      accumulated.clear();
+      break;
+    }
+    mask <<= 1;
+  }
+  for (auto& blob : per_rank) blob.clear();
+  if (rank() == root) {
+    for (auto& [r, blob] : accumulated) {
+      per_rank[static_cast<std::size_t>(r)] = std::move(blob);
+    }
+  }
+}
+
+void Comm::tree_bcast_blob(int tag, int root, std::vector<std::byte>& blob) {
+  const int p = size();
+  const int relative = (rank() - root + p) % p;
+  int mask = 1;
+  while (mask < p) {
+    if (relative & mask) {
+      const int src = (relative - mask + root) % p;
+      blob = recv_blob(src, tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (relative + mask < p) {
+      const int dst = (relative + mask + root) % p;
+      send_blob(dst, tag, blob);
+    }
+    mask >>= 1;
+  }
+}
+
+std::vector<std::vector<std::byte>> Comm::gather_blobs(
+    std::span<const std::byte> mine, int root) {
+  const int tag = next_coll_tag();
+  std::vector<std::vector<std::byte>> per_rank(
+      static_cast<std::size_t>(size()));
+  per_rank[static_cast<std::size_t>(rank())].assign(mine.begin(),
+                                                    mine.end());
+  tree_gather(tag, root, per_rank);
+  return per_rank;
+}
+
+std::vector<std::vector<std::byte>> Comm::allgather_blobs(
+    std::span<const std::byte> mine) {
+  auto per_rank = gather_blobs(mine, 0);
+  const int tag = next_coll_tag();
+  std::vector<std::byte> packed;
+  if (rank() == 0) {
+    std::vector<std::pair<int, std::vector<std::byte>>> items;
+    items.reserve(per_rank.size());
+    for (std::size_t r = 0; r < per_rank.size(); ++r) {
+      items.emplace_back(static_cast<int>(r), std::move(per_rank[r]));
+    }
+    packed = serialize_bundle(items);
+  }
+  tree_bcast_blob(tag, 0, packed);
+  auto items = parse_bundle(packed);
+  std::vector<std::vector<std::byte>> out(static_cast<std::size_t>(size()));
+  for (auto& [r, blob] : items) {
+    out[static_cast<std::size_t>(r)] = std::move(blob);
+  }
+  return out;
+}
+
+double Comm::allreduce_max(double v) {
+  const auto all = allgather(v);
+  double m = all.front();
+  for (const double x : all) m = std::max(m, x);
+  return m;
+}
+
+double Comm::allreduce_sum(double v) {
+  const auto all = allgather(v);
+  double s = 0.0;
+  for (const double x : all) s += x;
+  return s;
+}
+
+std::int64_t Comm::allreduce_max(std::int64_t v) {
+  const auto all = allgather(v);
+  std::int64_t m = all.front();
+  for (const std::int64_t x : all) m = std::max(m, x);
+  return m;
+}
+
+std::int64_t Comm::allreduce_sum(std::int64_t v) {
+  const auto all = allgather(v);
+  std::int64_t s = 0;
+  for (const std::int64_t x : all) s += x;
+  return s;
+}
+
+}  // namespace mcio::mpi

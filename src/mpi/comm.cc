@@ -1,0 +1,212 @@
+#include "mpi/comm.h"
+
+#include <algorithm>
+
+#include "mpi/machine.h"
+#include "util/check.h"
+
+namespace mcio::mpi {
+
+Comm::Comm(Machine* machine, Rank* owner,
+           std::shared_ptr<const std::vector<int>> members, int my_index,
+           std::uint64_t comm_id)
+    : machine_(machine),
+      owner_(owner),
+      members_(std::move(members)),
+      my_index_(my_index),
+      comm_id_(comm_id) {
+  MCIO_CHECK_GE(my_index_, 0);
+  MCIO_CHECK_LT(my_index_, size());
+  MCIO_CHECK_EQ((*members_)[static_cast<std::size_t>(my_index_)],
+                owner_->rank());
+}
+
+int Comm::world_rank(int crank) const {
+  MCIO_CHECK_GE(crank, 0);
+  MCIO_CHECK_LT(crank, size());
+  return (*members_)[static_cast<std::size_t>(crank)];
+}
+
+int Comm::node_of(int crank) const {
+  return machine_->cluster().node_of_rank(world_rank(crank));
+}
+
+Endpoint& Comm::my_endpoint() {
+  return machine_->endpoint(owner_->rank());
+}
+
+int Comm::next_coll_tag() {
+  return static_cast<int>(0x20000000u +
+                          static_cast<std::uint32_t>(coll_seq_++ &
+                                                     0x0fffffffu));
+}
+
+int Comm::reserve_tags(int n) {
+  MCIO_CHECK_GT(n, 0);
+  const int base = next_coll_tag();
+  coll_seq_ += static_cast<std::uint64_t>(n - 1);
+  return base;
+}
+
+void Comm::send(int dst, int tag, util::ConstPayload data) {
+  sim::Actor& actor = owner_->actor();
+  actor.sync();  // interact in global virtual-time order
+  const int wdst = world_rank(dst);
+  const sim::SimTime arrival = machine_->transfer(
+      node_of(rank()), node_of(dst), data.size, actor.now());
+  actor.advance(machine_->config().send_overhead);
+  Envelope env;
+  env.comm_id = comm_id_;
+  env.src = rank();
+  env.tag = tag;
+  env.body = util::OwnedPayload(data);
+  env.arrival = arrival;
+  machine_->deliver(wdst, std::move(env));
+}
+
+Request Comm::isend(int dst, int tag, util::ConstPayload data) {
+  // Buffered-eager transport: the send buffer is copied at post time, so
+  // the request is already complete locally.
+  send(dst, tag, data);
+  Request r;
+  r.send_ = true;
+  return r;
+}
+
+Request Comm::irecv(int src, int tag, util::Payload buf) {
+  sim::Actor& actor = owner_->actor();
+  actor.sync();
+  auto slot = std::make_shared<RecvSlot>();
+  slot->comm_id = comm_id_;
+  slot->src = src;
+  slot->tag = tag;
+  slot->buf = buf;
+  Endpoint& ep = my_endpoint();
+  for (auto it = ep.unexpected.begin(); it != ep.unexpected.end(); ++it) {
+    if (!slot->matches(*it)) continue;
+    Envelope env = std::move(*it);
+    ep.unexpected.erase(it);
+    MCIO_CHECK_MSG(env.body.size() <= slot->buf.size,
+                   "message (" << env.body.size()
+                               << " B) overflows receive buffer ("
+                               << slot->buf.size << " B)");
+    MCIO_CHECK_MSG(!(slot->buf.data != nullptr && env.body.is_virtual()),
+                   "virtual message delivered into a real buffer");
+    if (env.body.size() > 0) {
+      util::copy_payload(slot->buf.slice(0, env.body.size()),
+                         env.body.view());
+    }
+    slot->status = Status{env.src, env.tag, env.body.size(), env.arrival};
+    slot->done = true;
+    break;
+  }
+  if (!slot->done) ep.posted.push_back(slot);
+  Request r;
+  r.slot_ = std::move(slot);
+  return r;
+}
+
+void Comm::recv(int src, int tag, util::Payload buf, Status* status) {
+  Request r = irecv(src, tag, buf);
+  wait(r, status);
+}
+
+void Comm::wait(Request& request, Status* status) {
+  MCIO_CHECK_MSG(request.valid(), "wait on an invalid/consumed request");
+  if (request.send_) {
+    request.send_ = false;
+    return;
+  }
+  sim::Actor& actor = owner_->actor();
+  Endpoint& ep = my_endpoint();
+  while (!request.slot_->done) {
+    ++ep.waiting;
+    actor.park();
+    --ep.waiting;
+  }
+  actor.advance_to(request.slot_->status.arrival);
+  actor.advance(machine_->config().recv_overhead);
+  if (status != nullptr) *status = request.slot_->status;
+  request.slot_.reset();
+}
+
+void Comm::waitall(std::span<Request> requests) {
+  for (Request& r : requests) {
+    if (r.valid()) wait(r);
+  }
+}
+
+bool Comm::test(const Request& request) const {
+  if (request.send_) return true;
+  return request.slot_ == nullptr || request.slot_->done;
+}
+
+void Comm::send_blob(int dst, int tag, std::span<const std::byte> blob) {
+  const std::uint64_t size = blob.size();
+  send(dst, tag,
+       util::ConstPayload::real(reinterpret_cast<const std::byte*>(&size),
+                                sizeof(size)));
+  if (size > 0) {
+    send(dst, tag, util::ConstPayload::real(blob.data(), size));
+  }
+}
+
+std::vector<std::byte> Comm::recv_blob(int src, int tag, Status* status) {
+  std::uint64_t size = 0;
+  Status header;
+  recv(src, tag,
+       util::Payload::real(reinterpret_cast<std::byte*>(&size),
+                           sizeof(size)),
+       &header);
+  std::vector<std::byte> blob(size);
+  if (size > 0) {
+    Status body;
+    recv(header.source, tag, util::Payload::of(blob), &body);
+    header.arrival = body.arrival;
+    header.bytes = size;
+  }
+  if (status != nullptr) *status = header;
+  return blob;
+}
+
+Comm Comm::split(int color, int key) {
+  MCIO_CHECK_GE(color, 0);
+  struct Item {
+    int color;
+    int key;
+    int wrank;
+  };
+  const auto items = allgather(Item{color, key, owner_->rank()});
+  std::vector<Item> mine;
+  for (const Item& it : items) {
+    if (it.color == color) mine.push_back(it);
+  }
+  std::sort(mine.begin(), mine.end(), [](const Item& a, const Item& b) {
+    return a.key != b.key ? a.key < b.key : a.wrank < b.wrank;
+  });
+  auto members = std::make_shared<std::vector<int>>();
+  int my_index = -1;
+  for (const Item& it : mine) {
+    if (it.wrank == owner_->rank()) {
+      my_index = static_cast<int>(members->size());
+    }
+    members->push_back(it.wrank);
+  }
+  MCIO_CHECK_GE(my_index, 0);
+  const std::uint64_t id = machine_->intern_group(*members);
+  return Comm(machine_, owner_, std::move(members), my_index, id);
+}
+
+Comm Comm::dup() {
+  // Collective: rank 0 draws a fresh id (distinct from any interned group
+  // id thanks to the high bit) and broadcasts it.
+  std::uint64_t id = 0;
+  if (rank() == 0) {
+    static_assert(sizeof(std::uint64_t) == 8);
+    id = (1ull << 63) | (comm_id_ << 20) | (coll_seq_ & 0xfffffu);
+  }
+  bcast(id, 0);
+  return Comm(machine_, owner_, members_, my_index_, id);
+}
+
+}  // namespace mcio::mpi

@@ -1,0 +1,181 @@
+// Communicators: point-to-point messaging and collectives.
+//
+// The API mirrors the MPI subset ROMIO's collective I/O machinery uses.
+// All operations are byte-oriented; typed helpers (allgather<T> etc.) wrap
+// them for trivially copyable metadata.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <type_traits>
+#include <vector>
+
+#include "mpi/message.h"
+#include "util/payload.h"
+
+namespace mcio::mpi {
+
+class Machine;
+class Rank;
+
+/// Handle for a non-blocking operation. Send requests complete at post
+/// time (buffered-eager transport); receive requests complete on match.
+class Request {
+ public:
+  Request() = default;
+  bool valid() const { return slot_ != nullptr || send_; }
+
+ private:
+  friend class Comm;
+  std::shared_ptr<RecvSlot> slot_;  // null for send requests
+  bool send_ = false;
+};
+
+class Comm {
+ public:
+  int rank() const { return my_index_; }
+  int size() const { return static_cast<int>(members_->size()); }
+
+  /// World rank of a rank in this communicator.
+  int world_rank(int crank) const;
+  /// Physical node hosting a rank of this communicator.
+  int node_of(int crank) const;
+
+  // --- point-to-point ---
+  void send(int dst, int tag, util::ConstPayload data);
+  Request isend(int dst, int tag, util::ConstPayload data);
+  void recv(int src, int tag, util::Payload buf, Status* status = nullptr);
+  Request irecv(int src, int tag, util::Payload buf);
+  void wait(Request& request, Status* status = nullptr);
+  void waitall(std::span<Request> requests);
+  /// True when the request has completed (non-blocking poll).
+  bool test(const Request& request) const;
+
+  /// Sends a variable-size byte blob (two-message protocol: size header
+  /// then body on the same tag; per-(src,tag) FIFO keeps them paired).
+  void send_blob(int dst, int tag, std::span<const std::byte> blob);
+  /// Receives a blob of unknown size. With kAnySource, the body is read
+  /// from whichever source supplied the header.
+  std::vector<std::byte> recv_blob(int src, int tag,
+                                   Status* status = nullptr);
+
+  // --- collectives (must be called by every rank of the communicator in
+  //     the same order) ---
+  void barrier();
+  void bcast_bytes(util::Payload data, int root);
+  /// Variable-size gather: returns one blob per rank at root (empty
+  /// elsewhere). Blobs are real bytes; metadata is always real.
+  std::vector<std::vector<std::byte>> gather_blobs(
+      std::span<const std::byte> mine, int root);
+  /// Variable-size allgather (gather + bcast of the concatenation).
+  std::vector<std::vector<std::byte>> allgather_blobs(
+      std::span<const std::byte> mine);
+
+  // Typed helpers for trivially copyable metadata.
+  template <typename T>
+  std::vector<T> allgather(const T& v);
+  template <typename T>
+  std::vector<T> gather(const T& v, int root);
+  template <typename T>
+  void bcast(T& v, int root);
+  template <typename T>
+  std::vector<std::vector<T>> allgatherv(std::span<const T> mine);
+
+  double allreduce_max(double v);
+  double allreduce_sum(double v);
+  std::int64_t allreduce_max(std::int64_t v);
+  std::int64_t allreduce_sum(std::int64_t v);
+
+  /// Reserves `n` consecutive tags from the collective tag space and
+  /// returns the first. Collective in the weak sense: every rank must
+  /// reserve the same counts in the same order (drivers do).
+  int reserve_tags(int n);
+
+  /// Splits into sub-communicators by color; ranks ordered by (key, rank).
+  /// Every rank must participate (use color >= 0).
+  Comm split(int color, int key);
+
+  /// Duplicate handle (same group, fresh collective-sequence space).
+  Comm dup();
+
+ private:
+  friend class Rank;
+  friend class Machine;
+
+  Comm(Machine* machine, Rank* owner,
+       std::shared_ptr<const std::vector<int>> members, int my_index,
+       std::uint64_t comm_id);
+
+  int next_coll_tag();
+  Endpoint& my_endpoint();
+
+  // Tree helpers for collectives.
+  void tree_gather(int tag, int root,
+                   std::vector<std::vector<std::byte>>& per_rank);
+  void tree_bcast_blob(int tag, int root, std::vector<std::byte>& blob);
+
+  Machine* machine_;
+  Rank* owner_;
+  std::shared_ptr<const std::vector<int>> members_;  // world ranks
+  int my_index_;
+  std::uint64_t comm_id_;
+  std::uint64_t coll_seq_ = 0;
+};
+
+// --- template implementations ---
+
+template <typename T>
+std::vector<T> Comm::allgather(const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  auto blobs = allgather_blobs(std::span<const std::byte>(p, sizeof(T)));
+  std::vector<T> out(blobs.size());
+  for (std::size_t i = 0; i < blobs.size(); ++i) {
+    MCIO_CHECK_EQ(blobs[i].size(), sizeof(T));
+    std::memcpy(&out[i], blobs[i].data(), sizeof(T));
+  }
+  return out;
+}
+
+template <typename T>
+std::vector<T> Comm::gather(const T& v, int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  auto blobs = gather_blobs(std::span<const std::byte>(p, sizeof(T)), root);
+  std::vector<T> out;
+  if (rank() == root) {
+    out.resize(blobs.size());
+    for (std::size_t i = 0; i < blobs.size(); ++i) {
+      MCIO_CHECK_EQ(blobs[i].size(), sizeof(T));
+      std::memcpy(&out[i], blobs[i].data(), sizeof(T));
+    }
+  }
+  return out;
+}
+
+template <typename T>
+void Comm::bcast(T& v, int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  bcast_bytes(util::Payload::real(reinterpret_cast<std::byte*>(&v),
+                                  sizeof(T)),
+              root);
+}
+
+template <typename T>
+std::vector<std::vector<T>> Comm::allgatherv(std::span<const T> mine) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  auto blobs = allgather_blobs(std::span<const std::byte>(
+      reinterpret_cast<const std::byte*>(mine.data()), mine.size_bytes()));
+  std::vector<std::vector<T>> out(blobs.size());
+  for (std::size_t i = 0; i < blobs.size(); ++i) {
+    MCIO_CHECK_EQ(blobs[i].size() % sizeof(T), 0u);
+    out[i].resize(blobs[i].size() / sizeof(T));
+    if (!blobs[i].empty()) {
+      std::memcpy(out[i].data(), blobs[i].data(), blobs[i].size());
+    }
+  }
+  return out;
+}
+
+}  // namespace mcio::mpi

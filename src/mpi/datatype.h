@@ -1,0 +1,86 @@
+// Derived datatypes with flattening — the MPI machinery file views are
+// built from (MPI_Type_contiguous / vector / indexed / create_subarray /
+// create_resized).
+//
+// A datatype is represented by its flattened relative byte map: a sorted,
+// disjoint list of extents within [lb, lb + extent). size() is the number
+// of data bytes, extent() the span a tiled instance occupies — exactly the
+// MPI typemap semantics the I/O middleware needs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/extent.h"
+
+namespace mcio::mpi {
+
+enum class Order { kC, kFortran };
+
+class Datatype {
+ public:
+  /// Contiguous run of n bytes (MPI_BYTE × n).
+  static Datatype bytes(std::uint64_t n);
+
+  /// `count` consecutive instances of `base`.
+  static Datatype contiguous(std::uint64_t count, const Datatype& base);
+
+  /// `count` blocks of `blocklen` base elements, block starts separated by
+  /// `stride` base-extents (MPI_Type_vector semantics).
+  static Datatype vector(std::uint64_t count, std::uint64_t blocklen,
+                         std::uint64_t stride, const Datatype& base);
+
+  /// Blocks of base elements at explicit element displacements
+  /// (MPI_Type_indexed): each pair is (displacement, blocklength) counted
+  /// in base extents.
+  static Datatype indexed(
+      const std::vector<std::pair<std::uint64_t, std::uint64_t>>& blocks,
+      const Datatype& base);
+
+  /// n-dimensional subarray of an n-dimensional array of base elements
+  /// (MPI_Type_create_subarray). All vectors must have the same rank;
+  /// starts[i] + subsizes[i] <= sizes[i].
+  static Datatype subarray(const std::vector<std::uint64_t>& sizes,
+                           const std::vector<std::uint64_t>& subsizes,
+                           const std::vector<std::uint64_t>& starts,
+                           const Datatype& base, Order order = Order::kC);
+
+  /// Overrides lower bound and extent (MPI_Type_create_resized).
+  static Datatype resized(const Datatype& base, std::uint64_t lb,
+                          std::uint64_t extent);
+
+  /// Total data bytes per instance.
+  std::uint64_t size() const { return size_; }
+  /// Bytes one tiled instance spans.
+  std::uint64_t extent() const { return extent_; }
+  std::uint64_t lb() const { return lb_; }
+  /// Number of flattened runs per instance.
+  std::size_t num_runs() const { return runs_.size(); }
+  const std::vector<util::Extent>& runs() const { return runs_; }
+  /// True when the data bytes form a single gap-free run.
+  bool contiguous_data() const;
+
+  /// Flattens `count` tiled instances starting at absolute byte
+  /// displacement `disp`, merging adjacent runs. Instance i is placed at
+  /// disp + i*extent().
+  std::vector<util::Extent> flatten(std::uint64_t disp,
+                                    std::uint64_t count = 1) const;
+
+  /// Flattens tiled instances but keeps only the first `data_bytes` bytes
+  /// of data (in typemap order) — how a file view is consumed by a
+  /// read/write of a given size. The last run may be trimmed.
+  std::vector<util::Extent> flatten_bytes(std::uint64_t disp,
+                                          std::uint64_t data_bytes) const;
+
+ private:
+  Datatype(std::vector<util::Extent> runs, std::uint64_t lb,
+           std::uint64_t extent);
+
+  std::vector<util::Extent> runs_;  // sorted, disjoint, relative to 0
+  std::uint64_t lb_ = 0;
+  std::uint64_t extent_ = 0;
+  std::uint64_t size_ = 0;
+};
+
+}  // namespace mcio::mpi

@@ -1,0 +1,106 @@
+#include "mpi/machine.h"
+
+#include "mpi/comm.h"
+#include "util/check.h"
+
+namespace mcio::mpi {
+
+Machine::Machine(const sim::ClusterConfig& config) : cluster_(config) {}
+
+std::vector<sim::SimTime> Machine::run(
+    int nranks, const std::function<void(Rank&)>& body) {
+  MCIO_CHECK_GT(nranks, 0);
+  MCIO_CHECK_MSG(nranks <= cluster_.total_ranks(),
+                 "nranks " << nranks << " exceeds cluster slots "
+                           << cluster_.total_ranks());
+  endpoints_.assign(static_cast<std::size_t>(nranks), Endpoint{});
+  sim::Engine engine;
+  engine_ = &engine;
+  for (int r = 0; r < nranks; ++r) {
+    engine.spawn([this, r, &body](sim::Actor& actor) {
+      Rank rank(*this, actor, r);
+      body(rank);
+    });
+  }
+  try {
+    engine.run();
+  } catch (...) {
+    engine_ = nullptr;
+    throw;
+  }
+  engine_ = nullptr;
+  return engine.finish_times();
+}
+
+std::uint64_t Machine::intern_group(const std::vector<int>& world_members) {
+  auto [it, inserted] =
+      group_ids_.try_emplace(world_members, group_ids_.size() + 1);
+  return it->second;
+}
+
+sim::SimTime Machine::transfer(int src_node, int dst_node,
+                               std::uint64_t bytes, sim::SimTime start) {
+  const auto fbytes = static_cast<double>(bytes);
+  if (src_node == dst_node) {
+    // Intra-node: one pass over the shared off-chip memory bus.
+    return cluster_.membus(src_node).serve(start, fbytes);
+  }
+  const sim::SimTime sent =
+      cluster_.nic_out(src_node).serve(start, fbytes);
+  return cluster_.nic_in(dst_node).serve(sent, fbytes);
+}
+
+void Machine::deliver(int world_dst, Envelope env) {
+  Endpoint& ep = endpoint(world_dst);
+  for (auto it = ep.posted.begin(); it != ep.posted.end(); ++it) {
+    RecvSlot& slot = **it;
+    if (!slot.matches(env)) continue;
+    MCIO_CHECK_MSG(env.body.size() <= slot.buf.size,
+                   "message (" << env.body.size()
+                               << " B) overflows receive buffer ("
+                               << slot.buf.size << " B)");
+    MCIO_CHECK_MSG(!(slot.buf.data != nullptr && env.body.is_virtual()),
+                   "virtual message delivered into a real buffer");
+    if (env.body.size() > 0) {
+      util::copy_payload(slot.buf.slice(0, env.body.size()),
+                         env.body.view());
+    }
+    slot.status = Status{env.src, env.tag, env.body.size(), env.arrival};
+    slot.done = true;
+    ep.posted.erase(it);
+    if (ep.waiting > 0 && engine_ != nullptr &&
+        engine_->is_parked(world_dst)) {
+      engine_->unpark(world_dst, 0.0);
+    }
+    return;
+  }
+  ep.unexpected.push_back(std::move(env));
+}
+
+Endpoint& Machine::endpoint(int world_rank) {
+  return endpoints_.at(static_cast<std::size_t>(world_rank));
+}
+
+sim::Engine& Machine::engine() {
+  MCIO_CHECK_MSG(engine_ != nullptr, "engine only valid during run()");
+  return *engine_;
+}
+
+Rank::Rank(Machine& machine, sim::Actor& actor, int world_rank)
+    : machine_(machine), actor_(actor), world_rank_(world_rank) {
+  const int n = static_cast<int>(machine.engine().num_actors());
+  auto members = std::make_shared<std::vector<int>>();
+  members->reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) members->push_back(r);
+  const std::uint64_t id = machine.intern_group(*members);
+  world_ = std::unique_ptr<Comm>(
+      new Comm(&machine, this, std::move(members), world_rank, id));
+}
+
+Rank::~Rank() = default;
+
+int Rank::node() const {
+  return machine_.cluster().node_of_rank(world_rank_);
+}
+
+}  // namespace mcio::mpi

@@ -1,0 +1,86 @@
+// The simulated parallel machine: cluster resources + message transport +
+// rank launcher.
+//
+// Machine::run() spawns one fiber per MPI rank, hands each a Rank context
+// (actor + world communicator) and drives the virtual-time engine to
+// completion. Transport costs: inter-node messages traverse the sender's
+// NIC egress queue then the receiver's NIC ingress queue; intra-node
+// messages cross the shared node memory bus — which is exactly where the
+// paper's off-chip bandwidth contention shows up.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "mpi/message.h"
+#include "sim/engine.h"
+#include "sim/topology.h"
+
+namespace mcio::mpi {
+
+class Comm;
+class Rank;
+
+class Machine {
+ public:
+  explicit Machine(const sim::ClusterConfig& config);
+
+  sim::Cluster& cluster() { return cluster_; }
+  const sim::ClusterConfig& config() const { return cluster_.config(); }
+
+  /// Runs `nranks` rank bodies to completion (nranks defaults to all core
+  /// slots). Returns per-rank virtual finish times.
+  std::vector<sim::SimTime> run(int nranks,
+                                const std::function<void(Rank&)>& body);
+
+  /// Interns a communicator group; identical member lists get the same id.
+  std::uint64_t intern_group(const std::vector<int>& world_members);
+
+  // --- transport internals (used by Comm) ---
+
+  /// Computes delivery time for `bytes` from src_node to dst_node starting
+  /// at `start` and charges the resources involved.
+  sim::SimTime transfer(int src_node, int dst_node, std::uint64_t bytes,
+                        sim::SimTime start);
+
+  /// Delivers an envelope to a world rank: matches a posted receive or
+  /// queues as unexpected; wakes the destination if it is parked waiting.
+  void deliver(int world_dst, Envelope env);
+
+  Endpoint& endpoint(int world_rank);
+  sim::Engine& engine();
+
+ private:
+  sim::Cluster cluster_;
+  std::vector<Endpoint> endpoints_;
+  std::map<std::vector<int>, std::uint64_t> group_ids_;
+  sim::Engine* engine_ = nullptr;  // valid during run()
+};
+
+/// Per-rank execution context passed to rank bodies.
+class Rank {
+ public:
+  Rank(Machine& machine, sim::Actor& actor, int world_rank);
+  ~Rank();
+
+  Rank(const Rank&) = delete;
+  Rank& operator=(const Rank&) = delete;
+
+  int rank() const { return world_rank_; }
+  int node() const;
+  sim::Actor& actor() { return actor_; }
+  Machine& machine() { return machine_; }
+
+  /// World communicator (all ranks of this run).
+  Comm& world() { return *world_; }
+
+ private:
+  Machine& machine_;
+  sim::Actor& actor_;
+  int world_rank_;
+  std::unique_ptr<Comm> world_;
+};
+
+}  // namespace mcio::mpi

@@ -1,0 +1,60 @@
+// Message envelopes, receive slots and per-rank endpoints.
+//
+// Matching follows MPI semantics: a receive matches the first envelope in
+// arrival order with the same communicator whose (source, tag) fit the
+// receive's (possibly wildcard) selectors; per-(source,tag) ordering is
+// FIFO because both queues preserve arrival/post order.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "sim/time.h"
+#include "util/payload.h"
+
+namespace mcio::mpi {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+struct Status {
+  int source = kAnySource;  ///< rank within the communicator
+  int tag = kAnyTag;
+  std::uint64_t bytes = 0;
+  sim::SimTime arrival = 0.0;  ///< virtual time data was fully delivered
+};
+
+/// A message in flight or queued as unexpected.
+struct Envelope {
+  std::uint64_t comm_id = 0;
+  int src = 0;  ///< source rank within the communicator
+  int tag = 0;
+  util::OwnedPayload body;
+  sim::SimTime arrival = 0.0;
+};
+
+/// A posted (possibly pending) receive.
+struct RecvSlot {
+  std::uint64_t comm_id = 0;
+  int src = kAnySource;
+  int tag = kAnyTag;
+  util::Payload buf;
+  bool done = false;
+  Status status;
+
+  bool matches(const Envelope& e) const {
+    return comm_id == e.comm_id && (src == kAnySource || src == e.src) &&
+           (tag == kAnyTag || tag == e.tag);
+  }
+};
+
+/// Per-world-rank message state.
+struct Endpoint {
+  std::deque<Envelope> unexpected;
+  std::deque<std::shared_ptr<RecvSlot>> posted;
+  /// Number of wait() loops currently parked on this endpoint.
+  int waiting = 0;
+};
+
+}  // namespace mcio::mpi

@@ -1,0 +1,126 @@
+#include "node/memory.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace mcio::node {
+
+Lease::Lease(MemoryManager* mgr, int node, std::uint64_t bytes,
+             double pressure, double bw_scale)
+    : mgr_(mgr),
+      node_(node),
+      bytes_(bytes),
+      pressure_(pressure),
+      bw_scale_(bw_scale) {}
+
+Lease::Lease(Lease&& other) noexcept { *this = std::move(other); }
+
+Lease& Lease::operator=(Lease&& other) noexcept {
+  if (this != &other) {
+    release();
+    mgr_ = other.mgr_;
+    node_ = other.node_;
+    bytes_ = other.bytes_;
+    pressure_ = other.pressure_;
+    bw_scale_ = other.bw_scale_;
+    other.mgr_ = nullptr;
+  }
+  return *this;
+}
+
+Lease::~Lease() { release(); }
+
+void Lease::release() {
+  if (mgr_ != nullptr) {
+    mgr_->release(node_, bytes_);
+    mgr_ = nullptr;
+  }
+}
+
+MemoryManager::MemoryManager(const sim::ClusterConfig& config,
+                             std::uint64_t mean_available,
+                             MemoryVariance variance, std::uint64_t seed)
+    : config_(config) {
+  MCIO_CHECK_GT(mean_available, 0u);
+  util::Rng rng(seed);
+  const auto n = static_cast<std::size_t>(config.num_nodes);
+  capacity_.resize(n);
+  leased_.assign(n, 0);
+  high_water_.assign(n, 0);
+  const double mean = static_cast<double>(mean_available);
+  const double stdev = variance.relative_stdev * mean;
+  for (std::size_t i = 0; i < n; ++i) {
+    double draw = rng.normal(mean, stdev);
+    draw = std::max(draw, static_cast<double>(variance.floor_bytes));
+    draw = std::min(draw, static_cast<double>(config.node_memory));
+    capacity_[i] = static_cast<std::uint64_t>(draw);
+  }
+}
+
+MemoryManager MemoryManager::uniform(const sim::ClusterConfig& config,
+                                     std::uint64_t available_per_node) {
+  MemoryVariance no_variance;
+  no_variance.relative_stdev = 0.0;
+  no_variance.floor_bytes = 0;
+  return MemoryManager(config, available_per_node, no_variance, 1);
+}
+
+std::uint64_t MemoryManager::available(int node) const {
+  const auto i = static_cast<std::size_t>(node);
+  MCIO_CHECK_LT(i, capacity_.size());
+  return leased_[i] >= capacity_[i] ? 0 : capacity_[i] - leased_[i];
+}
+
+std::uint64_t MemoryManager::capacity(int node) const {
+  const auto i = static_cast<std::size_t>(node);
+  MCIO_CHECK_LT(i, capacity_.size());
+  return capacity_[i];
+}
+
+Lease MemoryManager::lease(int node, std::uint64_t bytes) {
+  const auto i = static_cast<std::size_t>(node);
+  MCIO_CHECK_LT(i, capacity_.size());
+  const std::uint64_t avail = available(node);
+  double pressure = 0.0;
+  if (bytes > 0 && bytes > avail) {
+    pressure = static_cast<double>(bytes - avail) /
+               static_cast<double>(bytes);
+  }
+  leased_[i] += bytes;
+  high_water_[i] = std::max(high_water_[i], leased_[i]);
+  return Lease(this, node, bytes, pressure, pressure_bw_scale(pressure));
+}
+
+std::uint64_t MemoryManager::high_water(int node) const {
+  return high_water_.at(static_cast<std::size_t>(node));
+}
+
+void MemoryManager::reset_high_water() {
+  std::fill(high_water_.begin(), high_water_.end(), 0);
+}
+
+double MemoryManager::pressure_bw_scale(double pressure) const {
+  return bw_scale_for(pressure, config_.membus_bandwidth);
+}
+
+double MemoryManager::bw_scale_for(double pressure,
+                                   double fast_bandwidth) const {
+  MCIO_CHECK_GE(pressure, 0.0);
+  MCIO_CHECK_LE(pressure, 1.0);
+  if (pressure == 0.0) return 1.0;
+  // Blend: bytes take (1-p)/fast + p/swap seconds per byte; the scale is
+  // relative to the fast path.
+  const double swap = config_.swap_bandwidth;
+  return 1.0 / ((1.0 - pressure) +
+                pressure * (fast_bandwidth / swap));
+}
+
+void MemoryManager::release(int node, std::uint64_t bytes) {
+  const auto i = static_cast<std::size_t>(node);
+  MCIO_CHECK_LT(i, capacity_.size());
+  MCIO_CHECK_GE(leased_[i], bytes);
+  leased_[i] -= bytes;
+}
+
+}  // namespace mcio::node

@@ -1,0 +1,49 @@
+#include "pfs/store.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace mcio::pfs {
+
+void Store::write(std::uint64_t offset, util::ConstPayload data) {
+  size_ = std::max(size_, offset + data.size);
+  if (data.data == nullptr || data.size == 0) return;
+  std::uint64_t pos = 0;
+  while (pos < data.size) {
+    const std::uint64_t abs = offset + pos;
+    const std::uint64_t page_idx = abs / kPageSize;
+    const std::uint64_t in_page = abs % kPageSize;
+    const std::uint64_t n =
+        std::min<std::uint64_t>(kPageSize - in_page, data.size - pos);
+    auto [it, inserted] = pages_.try_emplace(page_idx);
+    if (inserted) it->second.fill(std::byte{0});
+    std::memcpy(it->second.data() + in_page, data.data + pos, n);
+    pos += n;
+  }
+}
+
+void Store::read(std::uint64_t offset, util::Payload out) const {
+  if (out.data == nullptr || out.size == 0) return;
+  std::uint64_t pos = 0;
+  while (pos < out.size) {
+    const std::uint64_t abs = offset + pos;
+    const std::uint64_t page_idx = abs / kPageSize;
+    const std::uint64_t in_page = abs % kPageSize;
+    const std::uint64_t n =
+        std::min<std::uint64_t>(kPageSize - in_page, out.size - pos);
+    const auto it = pages_.find(page_idx);
+    if (it == pages_.end()) {
+      std::memset(out.data + pos, 0, n);
+    } else {
+      std::memcpy(out.data + pos, it->second.data() + in_page, n);
+    }
+    pos += n;
+  }
+}
+
+void Store::truncate() {
+  pages_.clear();
+  size_ = 0;
+}
+
+}  // namespace mcio::pfs

@@ -1,0 +1,122 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace mcio::sim {
+
+void Actor::advance(SimTime dt) {
+  MCIO_CHECK_GE(dt, 0.0);
+  clock_ += dt;
+}
+
+void Actor::advance_to(SimTime t) { clock_ = std::max(clock_, t); }
+
+void Actor::sync() {
+  engine_->make_ready(id_);
+  engine_->yield_from(id_);
+}
+
+void Actor::park() {
+  engine_->actors_[static_cast<std::size_t>(id_)].state =
+      Engine::State::kParked;
+  engine_->yield_from(id_);
+}
+
+Engine::Engine() : Engine(Options{}) {}
+
+Engine::Engine(Options options) : options_(options) {}
+
+Engine::~Engine() = default;
+
+int Engine::spawn(std::function<void(Actor&)> body) {
+  MCIO_CHECK_MSG(!running_, "spawn() after run() started");
+  const int id = static_cast<int>(actors_.size());
+  ActorSlot slot;
+  slot.actor = std::unique_ptr<Actor>(new Actor(this, id));
+  actors_.push_back(std::move(slot));
+  pending_bodies_.push_back(std::move(body));
+  return id;
+}
+
+void Engine::body_wrapper(int id, const std::function<void(Actor&)>& body) {
+  auto& slot = actors_[static_cast<std::size_t>(id)];
+  try {
+    body(*slot.actor);
+  } catch (...) {
+    if (!error_) error_ = std::current_exception();
+  }
+  slot.state = State::kDone;
+  finish_times_[static_cast<std::size_t>(id)] = slot.actor->now();
+  // Falling off the fiber body returns to main_ctx_ via uc_link.
+}
+
+void Engine::run() {
+  MCIO_CHECK_MSG(!running_, "run() is not reentrant");
+  running_ = true;
+  finish_times_.assign(actors_.size(), 0.0);
+  for (std::size_t i = 0; i < actors_.size(); ++i) {
+    const int id = static_cast<int>(i);
+    auto body = std::move(pending_bodies_[i]);
+    actors_[i].fiber = std::make_unique<Fiber>(
+        options_.stack_bytes,
+        [this, id, body = std::move(body)] { body_wrapper(id, body); },
+        &main_ctx_);
+    ready_.insert({0.0, id});
+  }
+  pending_bodies_.clear();
+
+  while (!ready_.empty()) {
+    const auto [t, id] = *ready_.begin();
+    ready_.erase(ready_.begin());
+    auto& slot = actors_[static_cast<std::size_t>(id)];
+    slot.state = State::kRunning;
+    slot.fiber->resume_from(&main_ctx_);
+    if (error_) std::rethrow_exception(error_);
+  }
+
+  // Everyone must have finished; parked actors with no waker = deadlock.
+  std::ostringstream stuck;
+  bool deadlock = false;
+  for (std::size_t i = 0; i < actors_.size(); ++i) {
+    if (actors_[i].state != State::kDone) {
+      deadlock = true;
+      stuck << ' ' << i;
+    }
+  }
+  MCIO_CHECK_MSG(!deadlock,
+                 "simulation deadlock; parked actors:" << stuck.str());
+}
+
+void Engine::unpark(int actor_id, SimTime not_before) {
+  auto& slot = actors_.at(static_cast<std::size_t>(actor_id));
+  MCIO_CHECK_MSG(slot.state == State::kParked,
+                 "unpark of non-parked actor " << actor_id);
+  slot.actor->advance_to(not_before);
+  make_ready(actor_id);
+}
+
+bool Engine::is_parked(int actor_id) const {
+  return actors_.at(static_cast<std::size_t>(actor_id)).state ==
+         State::kParked;
+}
+
+SimTime Engine::makespan() const {
+  SimTime t = 0.0;
+  for (const SimTime f : finish_times_) t = std::max(t, f);
+  return t;
+}
+
+void Engine::yield_from(int id) {
+  actors_[static_cast<std::size_t>(id)].fiber->yield_to(&main_ctx_);
+}
+
+void Engine::make_ready(int id) {
+  auto& slot = actors_[static_cast<std::size_t>(id)];
+  slot.state = State::kReady;
+  ready_.insert({slot.actor->now(), id});
+}
+
+}  // namespace mcio::sim

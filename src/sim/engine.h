@@ -1,0 +1,119 @@
+// The deterministic virtual-time scheduler.
+//
+// Every actor (MPI rank) is a fiber with its own virtual clock. Actors run
+// one at a time; whenever an actor is about to *interact* with shared state
+// (post a message, match a receive, use a resource) it calls sync(), which
+// yields until it is the globally lowest-clock runnable actor. All
+// interactions therefore execute in global virtual-time order, which makes
+// the simulation both causal and bit-for-bit reproducible.
+#pragma once
+
+#include <exception>
+#include <functional>
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "sim/fiber.h"
+#include "sim/time.h"
+
+namespace mcio::sim {
+
+class Engine;
+
+/// Per-fiber handle passed to actor bodies. Valid only while the engine is
+/// running the owning fiber.
+class Actor {
+ public:
+  int id() const { return id_; }
+  SimTime now() const { return clock_; }
+
+  /// Local computation: advances this actor's clock without yielding.
+  void advance(SimTime dt);
+
+  /// Moves the clock to at least `t`.
+  void advance_to(SimTime t);
+
+  /// Yields; resumes when this actor is the minimum-clock runnable actor.
+  /// Call before every interaction with shared simulation state.
+  void sync();
+
+  /// Blocks until another actor calls Engine::unpark() on this id. The
+  /// clock after waking is max(clock at park, wake time).
+  void park();
+
+  Engine& engine() const { return *engine_; }
+
+ private:
+  friend class Engine;
+  Actor(Engine* engine, int id) : engine_(engine), id_(id) {}
+
+  Engine* engine_;
+  int id_;
+  SimTime clock_ = 0.0;
+};
+
+/// Owns the fibers and the ready queue; runs the simulation to completion.
+class Engine {
+ public:
+  struct Options {
+    std::size_t stack_bytes = 256 * 1024;
+  };
+
+  Engine();
+  explicit Engine(Options options);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Registers an actor; returns its id (dense, starting at 0). Must be
+  /// called before run().
+  int spawn(std::function<void(Actor&)> body);
+
+  /// Runs all actors to completion. Throws util::Error on deadlock and
+  /// re-throws the first exception escaping an actor body.
+  void run();
+
+  /// Wakes a parked actor; its clock becomes max(current, not_before).
+  /// Callable from inside a running actor or before run().
+  void unpark(int actor_id, SimTime not_before);
+
+  /// True when the given actor is parked.
+  bool is_parked(int actor_id) const;
+
+  std::size_t num_actors() const { return actors_.size(); }
+
+  /// Virtual time at which each actor finished (valid after run()).
+  const std::vector<SimTime>& finish_times() const { return finish_times_; }
+
+  /// Max over finish_times().
+  SimTime makespan() const;
+
+ private:
+  friend class Actor;
+
+  enum class State { kReady, kRunning, kParked, kDone };
+
+  struct ActorSlot {
+    std::unique_ptr<Actor> actor;
+    std::unique_ptr<Fiber> fiber;
+    State state = State::kReady;
+  };
+
+  void yield_from(int id);           // fiber -> scheduler
+  void make_ready(int id);           // insert into ready set
+  void body_wrapper(int id, const std::function<void(Actor&)>& body);
+
+  Options options_;
+  std::vector<ActorSlot> actors_;
+  std::vector<std::function<void(Actor&)>> pending_bodies_;
+  // Ready set ordered by (clock, id): deterministic global order.
+  std::set<std::pair<SimTime, int>> ready_;
+  ucontext_t main_ctx_{};
+  std::exception_ptr error_;
+  std::vector<SimTime> finish_times_;
+  bool running_ = false;
+};
+
+}  // namespace mcio::sim

@@ -1,0 +1,39 @@
+#include "sim/fiber.h"
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace mcio::sim {
+
+void Fiber::trampoline(unsigned hi, unsigned lo) {
+  auto* self = reinterpret_cast<Fiber*>(
+      (static_cast<std::uintptr_t>(hi) << 32) |
+      static_cast<std::uintptr_t>(lo));
+  self->body_();
+  // Returning lets ucontext fall through to ctx_.uc_link (the scheduler).
+}
+
+Fiber::Fiber(std::size_t stack_bytes, std::function<void()> body,
+             ucontext_t* link)
+    : stack_(new char[stack_bytes]), body_(std::move(body)) {
+  MCIO_CHECK_GE(stack_bytes, 16u * 1024u);
+  MCIO_CHECK_EQ(getcontext(&ctx_), 0);
+  ctx_.uc_stack.ss_sp = stack_.get();
+  ctx_.uc_stack.ss_size = stack_bytes;
+  ctx_.uc_link = link;
+  const auto ptr = reinterpret_cast<std::uintptr_t>(this);
+  makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
+              static_cast<unsigned>(ptr >> 32),
+              static_cast<unsigned>(ptr & 0xffffffffu));
+}
+
+void Fiber::resume_from(ucontext_t* from) {
+  MCIO_CHECK_EQ(swapcontext(from, &ctx_), 0);
+}
+
+void Fiber::yield_to(ucontext_t* to) {
+  MCIO_CHECK_EQ(swapcontext(&ctx_, to), 0);
+}
+
+}  // namespace mcio::sim

@@ -1,0 +1,40 @@
+// Cooperative fibers via ucontext.
+//
+// The simulator runs every MPI rank as a fiber on one OS thread, switching
+// between them in virtual-time order. Single-threaded execution is what
+// makes runs bit-for-bit reproducible.
+#pragma once
+
+#include <ucontext.h>
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace mcio::sim {
+
+class Fiber {
+ public:
+  /// Creates a fiber that will run `body` when first resumed. `link` is the
+  /// context control returns to if `body` ever returns normally.
+  Fiber(std::size_t stack_bytes, std::function<void()> body,
+        ucontext_t* link);
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  /// Switches from `from` into this fiber.
+  void resume_from(ucontext_t* from);
+
+  /// Switches out of this fiber back into `to` (called from inside body).
+  void yield_to(ucontext_t* to);
+
+ private:
+  static void trampoline(unsigned hi, unsigned lo);
+
+  std::unique_ptr<char[]> stack_;
+  ucontext_t ctx_{};
+  std::function<void()> body_;
+};
+
+}  // namespace mcio::sim

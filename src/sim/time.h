@@ -1,0 +1,13 @@
+// Virtual time.
+#pragma once
+
+namespace mcio::sim {
+
+/// Simulated seconds. Doubles give ~microsecond precision over hour-long
+/// simulated runs, ample for an I/O simulator.
+using SimTime = double;
+
+inline constexpr SimTime kMicrosecond = 1e-6;
+inline constexpr SimTime kMillisecond = 1e-3;
+
+}  // namespace mcio::sim

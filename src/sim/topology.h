@@ -1,0 +1,62 @@
+// Cluster topology: nodes, rank placement and per-node resources.
+//
+// Defaults model the paper's testbed: 2×6-core Xeon nodes (12 ranks/node),
+// 24 GB per node, DDR InfiniBand (~1.5 GB/s per port).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/resource.h"
+#include "sim/time.h"
+
+namespace mcio::sim {
+
+struct ClusterConfig {
+  int num_nodes = 10;
+  int ranks_per_node = 12;
+
+  // Network.
+  double nic_bandwidth = 1.5e9;     ///< bytes/s each direction per node
+  SimTime nic_latency = 2.0e-6;     ///< per-message wire latency
+  SimTime send_overhead = 1.0e-6;   ///< CPU time to post a send
+  SimTime recv_overhead = 1.0e-6;   ///< CPU time to complete a receive
+
+  // Node memory system.
+  double membus_bandwidth = 25.0e9;  ///< off-chip memory bandwidth per node
+  std::uint64_t node_memory = 24ull << 30;  ///< physical memory per node
+  double swap_bandwidth = 50.0e6;    ///< paging device bandwidth
+
+  int total_ranks() const { return num_nodes * ranks_per_node; }
+};
+
+/// Owns the per-node contended resources and the rank→node mapping (block
+/// placement: ranks 0..ppn-1 on node 0, and so on — MPICH default).
+class Cluster {
+ public:
+  explicit Cluster(const ClusterConfig& config);
+
+  const ClusterConfig& config() const { return config_; }
+  int num_nodes() const { return config_.num_nodes; }
+  int total_ranks() const { return config_.total_ranks(); }
+
+  int node_of_rank(int rank) const;
+  /// Ranks hosted on `node`, in rank order.
+  std::vector<int> ranks_on_node(int node) const;
+  /// Lowest rank on `node`.
+  int first_rank_on_node(int node) const;
+
+  BandwidthQueue& nic_out(int node);
+  BandwidthQueue& nic_in(int node);
+  BandwidthQueue& membus(int node);
+
+  void reset_accounting();
+
+ private:
+  ClusterConfig config_;
+  std::vector<BandwidthQueue> nic_out_;
+  std::vector<BandwidthQueue> nic_in_;
+  std::vector<BandwidthQueue> membus_;
+};
+
+}  // namespace mcio::sim

@@ -1,0 +1,77 @@
+#include "util/bytes.h"
+
+#include <cctype>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace mcio::util {
+
+std::string format_bytes(std::uint64_t bytes) {
+  struct Unit {
+    std::uint64_t size;
+    const char* name;
+  };
+  static constexpr Unit kUnits[] = {
+      {kTiB, "TiB"}, {kGiB, "GiB"}, {kMiB, "MiB"}, {kKiB, "KiB"}};
+  for (const Unit& u : kUnits) {
+    if (bytes >= u.size) {
+      char buf[64];
+      if (bytes % u.size == 0) {
+        std::snprintf(buf, sizeof(buf), "%llu %s",
+                      static_cast<unsigned long long>(bytes / u.size),
+                      u.name);
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.2f %s",
+                      static_cast<double>(bytes) /
+                          static_cast<double>(u.size),
+                      u.name);
+      }
+      return buf;
+    }
+  }
+  return std::to_string(bytes) + " B";
+}
+
+std::uint64_t parse_bytes(const std::string& text) {
+  MCIO_CHECK_MSG(!text.empty(), "empty byte size");
+  std::size_t pos = 0;
+  errno = 0;
+  const double value = std::stod(text, &pos);
+  MCIO_CHECK_MSG(value >= 0, "negative byte size: " << text);
+  std::string suffix;
+  for (; pos < text.size(); ++pos) {
+    const char c = text[pos];
+    if (!std::isspace(static_cast<unsigned char>(c))) {
+      suffix += static_cast<char>(
+          std::toupper(static_cast<unsigned char>(c)));
+    }
+  }
+  // Strip trailing "IB" / "B".
+  if (suffix.size() >= 2 && suffix.substr(suffix.size() - 2) == "IB") {
+    suffix = suffix.substr(0, suffix.size() - 2);
+  } else if (!suffix.empty() && suffix.back() == 'B') {
+    suffix.pop_back();
+  }
+  std::uint64_t mult = 1;
+  if (suffix == "K") {
+    mult = kKiB;
+  } else if (suffix == "M") {
+    mult = kMiB;
+  } else if (suffix == "G") {
+    mult = kGiB;
+  } else if (suffix == "T") {
+    mult = kTiB;
+  } else {
+    MCIO_CHECK_MSG(suffix.empty(), "bad byte-size suffix in: " << text);
+  }
+  return static_cast<std::uint64_t>(value * static_cast<double>(mult));
+}
+
+std::string format_mbps(double bytes_per_second) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f MB/s", bytes_per_second / 1.0e6);
+  return buf;
+}
+
+}  // namespace mcio::util

@@ -1,0 +1,24 @@
+// Byte-size constants, formatting and parsing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mcio::util {
+
+inline constexpr std::uint64_t kKiB = 1024ULL;
+inline constexpr std::uint64_t kMiB = 1024ULL * kKiB;
+inline constexpr std::uint64_t kGiB = 1024ULL * kMiB;
+inline constexpr std::uint64_t kTiB = 1024ULL * kGiB;
+
+/// "4 KiB", "32 MiB", "1.5 GiB" — two significant decimals when inexact.
+std::string format_bytes(std::uint64_t bytes);
+
+/// Parses "64", "64K", "64KiB", "32M", "1G", "2T" (case-insensitive,
+/// optional "iB"/"B" suffix). Throws util::Error on malformed input.
+std::uint64_t parse_bytes(const std::string& text);
+
+/// MB/s formatting for bandwidth tables (decimal megabytes, like the paper).
+std::string format_mbps(double bytes_per_second);
+
+}  // namespace mcio::util

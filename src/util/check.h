@@ -1,0 +1,80 @@
+// Runtime invariant checking for the mcio library.
+//
+// MCIO_CHECK* macros throw util::Error on failure. They are enabled in all
+// build types: the simulator is a correctness tool first, so invariant
+// violations must never be silently ignored.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mcio::util {
+
+/// Exception thrown by all MCIO_CHECK* macros and by library-level
+/// validation failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "CHECK failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+/// Lazily builds the user message appended to a failed check.
+class CheckMessage {
+ public:
+  template <typename T>
+  CheckMessage& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+  std::string str() const { return os_.str(); }
+
+ private:
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace mcio::util
+
+#define MCIO_CHECK(cond)                                                   \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::mcio::util::detail::check_failed(#cond, __FILE__, __LINE__, "");   \
+    }                                                                      \
+  } while (false)
+
+#define MCIO_CHECK_MSG(cond, ...)                                          \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      ::mcio::util::detail::check_failed(                                  \
+          #cond, __FILE__, __LINE__,                                       \
+          (::mcio::util::detail::CheckMessage{} << __VA_ARGS__).str());    \
+    }                                                                      \
+  } while (false)
+
+#define MCIO_CHECK_OP(op, a, b)                                            \
+  do {                                                                     \
+    if (!((a)op(b))) {                                                     \
+      ::mcio::util::detail::check_failed(                                  \
+          #a " " #op " " #b, __FILE__, __LINE__,                           \
+          (::mcio::util::detail::CheckMessage{}                            \
+           << "lhs=" << (a) << " rhs=" << (b))                             \
+              .str());                                                     \
+    }                                                                      \
+  } while (false)
+
+#define MCIO_CHECK_EQ(a, b) MCIO_CHECK_OP(==, a, b)
+#define MCIO_CHECK_NE(a, b) MCIO_CHECK_OP(!=, a, b)
+#define MCIO_CHECK_LT(a, b) MCIO_CHECK_OP(<, a, b)
+#define MCIO_CHECK_LE(a, b) MCIO_CHECK_OP(<=, a, b)
+#define MCIO_CHECK_GT(a, b) MCIO_CHECK_OP(>, a, b)
+#define MCIO_CHECK_GE(a, b) MCIO_CHECK_OP(>=, a, b)

@@ -1,0 +1,71 @@
+#include "util/cli.h"
+
+#include "util/bytes.h"
+#include "util/check.h"
+
+namespace mcio::util {
+
+Cli::Cli(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";
+    }
+  }
+}
+
+bool Cli::has(const std::string& key) const {
+  used_.insert(key);
+  return values_.count(key) > 0;
+}
+
+std::string Cli::get_string(const std::string& key,
+                            const std::string& def) const {
+  used_.insert(key);
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t Cli::get_int(const std::string& key, std::int64_t def) const {
+  used_.insert(key);
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : std::stoll(it->second);
+}
+
+double Cli::get_double(const std::string& key, double def) const {
+  used_.insert(key);
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : std::stod(it->second);
+}
+
+bool Cli::get_bool(const std::string& key, bool def) const {
+  used_.insert(key);
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::uint64_t Cli::get_bytes(const std::string& key,
+                             std::uint64_t def) const {
+  used_.insert(key);
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : parse_bytes(it->second);
+}
+
+void Cli::check_unused() const {
+  for (const auto& [key, value] : values_) {
+    MCIO_CHECK_MSG(used_.count(key) > 0, "unknown flag --" << key);
+  }
+}
+
+}  // namespace mcio::util

@@ -1,0 +1,40 @@
+// Tiny command-line flag parser for benches and examples.
+//
+// Accepts `--key=value`, `--key value` and boolean `--flag` forms. Unknown
+// flags are an error so typos in sweeps don't silently run defaults.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace mcio::util {
+
+class Cli {
+ public:
+  Cli(int argc, const char* const* argv);
+
+  bool has(const std::string& key) const;
+
+  std::string get_string(const std::string& key,
+                         const std::string& def) const;
+  std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_bool(const std::string& key, bool def) const;
+  /// Byte sizes with suffixes, e.g. --buffer=16M.
+  std::uint64_t get_bytes(const std::string& key, std::uint64_t def) const;
+
+  /// Call after all get_* calls: throws if any flag was never consumed.
+  void check_unused() const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+  mutable std::set<std::string> used_;
+};
+
+}  // namespace mcio::util

@@ -1,0 +1,146 @@
+#include "util/extent.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace mcio::util {
+
+std::ostream& operator<<(std::ostream& os, const Extent& e) {
+  return os << "[" << e.offset << "," << e.end() << ")";
+}
+
+std::optional<Extent> intersect(const Extent& a, const Extent& b) {
+  const std::uint64_t lo = std::max(a.offset, b.offset);
+  const std::uint64_t hi = std::min(a.end(), b.end());
+  if (lo >= hi) return std::nullopt;
+  return Extent{lo, hi - lo};
+}
+
+ExtentList ExtentList::normalize(std::vector<Extent> extents) {
+  std::erase_if(extents, [](const Extent& e) { return e.empty(); });
+  std::sort(extents.begin(), extents.end(),
+            [](const Extent& a, const Extent& b) {
+              return a.offset != b.offset ? a.offset < b.offset
+                                          : a.len < b.len;
+            });
+  ExtentList out;
+  for (const Extent& e : extents) {
+    if (!out.runs_.empty() && e.offset <= out.runs_.back().end()) {
+      Extent& last = out.runs_.back();
+      last.len = std::max(last.end(), e.end()) - last.offset;
+    } else {
+      out.runs_.push_back(e);
+    }
+  }
+  return out;
+}
+
+void ExtentList::add(const Extent& e) {
+  if (e.empty()) return;
+  // Find first run ending at or after e.offset (candidates for merging).
+  auto it = std::lower_bound(
+      runs_.begin(), runs_.end(), e.offset,
+      [](const Extent& r, std::uint64_t off) { return r.end() < off; });
+  Extent merged = e;
+  auto first = it;
+  while (it != runs_.end() && it->offset <= merged.end()) {
+    const std::uint64_t new_end = std::max(merged.end(), it->end());
+    merged.offset = std::min(merged.offset, it->offset);
+    merged.len = new_end - merged.offset;
+    ++it;
+  }
+  it = runs_.erase(first, it);
+  runs_.insert(it, merged);
+}
+
+void ExtentList::merge(const ExtentList& other) {
+  for (const Extent& e : other.runs_) add(e);
+}
+
+std::uint64_t ExtentList::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const Extent& e : runs_) total += e.len;
+  return total;
+}
+
+Extent ExtentList::bounds() const {
+  if (runs_.empty()) return Extent{};
+  return Extent{runs_.front().offset,
+                runs_.back().end() - runs_.front().offset};
+}
+
+ExtentList ExtentList::clipped(const Extent& window) const {
+  ExtentList out;
+  auto it = std::lower_bound(
+      runs_.begin(), runs_.end(), window.offset,
+      [](const Extent& r, std::uint64_t off) { return r.end() <= off; });
+  for (; it != runs_.end() && it->offset < window.end(); ++it) {
+    if (auto x = intersect(*it, window)) out.runs_.push_back(*x);
+  }
+  return out;
+}
+
+ExtentList ExtentList::intersected(const ExtentList& other) const {
+  ExtentList out;
+  auto a = runs_.begin();
+  auto b = other.runs_.begin();
+  while (a != runs_.end() && b != other.runs_.end()) {
+    if (auto x = intersect(*a, *b)) out.runs_.push_back(*x);
+    if (a->end() < b->end()) {
+      ++a;
+    } else {
+      ++b;
+    }
+  }
+  return out;
+}
+
+bool ExtentList::covers(const Extent& e) const {
+  if (e.empty()) return true;
+  auto it = std::lower_bound(
+      runs_.begin(), runs_.end(), e.offset,
+      [](const Extent& r, std::uint64_t off) { return r.end() <= off; });
+  return it != runs_.end() && it->contains(e);
+}
+
+std::ostream& operator<<(std::ostream& os, const ExtentList& l) {
+  os << "{";
+  for (std::size_t i = 0; i < l.runs().size(); ++i) {
+    if (i > 0) os << ", ";
+    os << l.runs()[i];
+  }
+  return os << "}";
+}
+
+std::ostream& operator<<(std::ostream& os, const Piece& p) {
+  return os << "{file=" << p.file_offset << ", buf=" << p.buf_offset
+            << ", len=" << p.len << "}";
+}
+
+std::vector<Piece> pieces_in_window(const std::vector<Extent>& extents,
+                                    const Extent& window) {
+  std::vector<Piece> out;
+  std::uint64_t buf = 0;
+  for (const Extent& e : extents) {
+    if (const auto x = intersect(e, window)) {
+      out.push_back(Piece{x->offset, buf + (x->offset - e.offset), x->len});
+    }
+    buf += e.len;
+    if (e.offset >= window.end()) break;  // sorted: nothing further matches
+  }
+  return out;
+}
+
+std::uint64_t packed_offset_of(const std::vector<Extent>& extents,
+                               std::uint64_t pos) {
+  std::uint64_t buf = 0;
+  for (const Extent& e : extents) {
+    if (pos < e.offset) return buf;
+    if (pos < e.end()) return buf + (pos - e.offset);
+    buf += e.len;
+  }
+  return buf;
+}
+
+}  // namespace mcio::util

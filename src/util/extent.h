@@ -1,0 +1,116 @@
+// Byte-range (extent) algebra.
+//
+// Collective I/O is, at its core, interval bookkeeping: flattened file
+// views, file domains, aggregation windows, and the intersections between
+// them. Everything here works on half-open ranges [offset, offset+len).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <vector>
+
+namespace mcio::util {
+
+/// Half-open byte range [offset, offset + len).
+struct Extent {
+  std::uint64_t offset = 0;
+  std::uint64_t len = 0;
+
+  std::uint64_t end() const { return offset + len; }
+  bool empty() const { return len == 0; }
+  bool contains(std::uint64_t pos) const {
+    return pos >= offset && pos < end();
+  }
+  bool contains(const Extent& other) const {
+    return other.empty() ||
+           (other.offset >= offset && other.end() <= end());
+  }
+  bool overlaps(const Extent& other) const {
+    return offset < other.end() && other.offset < end();
+  }
+  /// True when `other` starts exactly where this extent ends.
+  bool adjacent_before(const Extent& other) const {
+    return end() == other.offset;
+  }
+
+  friend bool operator==(const Extent&, const Extent&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const Extent& e);
+
+/// Intersection of two extents; nullopt when disjoint (or either empty).
+std::optional<Extent> intersect(const Extent& a, const Extent& b);
+
+/// A normalized list of extents: sorted by offset, pairwise disjoint, with
+/// adjacent runs merged. The canonical representation of "the set of bytes
+/// a process touches".
+class ExtentList {
+ public:
+  ExtentList() = default;
+
+  /// Builds a normalized list from arbitrary input (may overlap/unsorted).
+  static ExtentList normalize(std::vector<Extent> extents);
+
+  /// Inserts one extent, keeping the list normalized.
+  void add(const Extent& e);
+
+  /// Union with another list.
+  void merge(const ExtentList& other);
+
+  const std::vector<Extent>& runs() const { return runs_; }
+  bool empty() const { return runs_.empty(); }
+  std::size_t size() const { return runs_.size(); }
+
+  std::uint64_t total_bytes() const;
+
+  /// Smallest extent covering everything; empty extent for empty lists.
+  Extent bounds() const;
+
+  /// Bytes of this list falling inside `window`.
+  ExtentList clipped(const Extent& window) const;
+
+  /// Set intersection with another normalized list.
+  ExtentList intersected(const ExtentList& other) const;
+
+  /// True when every byte of `e` is in this list.
+  bool covers(const Extent& e) const;
+
+  /// True when the list is one contiguous run (or empty).
+  bool contiguous() const { return runs_.size() <= 1; }
+
+  friend bool operator==(const ExtentList&, const ExtentList&) = default;
+
+ private:
+  std::vector<Extent> runs_;
+};
+
+std::ostream& operator<<(std::ostream& os, const ExtentList& l);
+
+/// A fragment of an I/O request: `len` bytes at `file_offset` that live at
+/// `buf_offset` within the owning process's (conceptually packed) buffer.
+struct Piece {
+  std::uint64_t file_offset = 0;
+  std::uint64_t buf_offset = 0;
+  std::uint64_t len = 0;
+
+  friend bool operator==(const Piece&, const Piece&) = default;
+};
+
+std::ostream& operator<<(std::ostream& os, const Piece& p);
+
+/// Given a process's file extents in monotonically increasing file order
+/// (the packed buffer layout follows that order), returns the pieces of the
+/// request that fall inside `window`, with both file and buffer offsets.
+///
+/// `extents` must be sorted by offset and non-overlapping; the ExtentList
+/// invariants guarantee this for normalized lists.
+std::vector<Piece> pieces_in_window(const std::vector<Extent>& extents,
+                                    const Extent& window);
+
+/// Total bytes of `extents` that fall before `pos` — the buffer offset of
+/// file position `pos` for a packed request. `extents` sorted, disjoint.
+std::uint64_t packed_offset_of(const std::vector<Extent>& extents,
+                               std::uint64_t pos);
+
+}  // namespace mcio::util

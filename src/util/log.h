@@ -1,0 +1,46 @@
+// Minimal leveled logger.
+//
+// The simulator itself never logs on hot paths; logging is for drivers,
+// benches and examples. Output goes to stderr so bench tables on stdout
+// stay machine-readable.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mcio::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global threshold; messages below it are dropped. Defaults to kWarn so
+/// tests and benches are quiet unless a caller opts in.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, os_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace mcio::util
+
+#define MCIO_LOG(level) \
+  ::mcio::util::detail::LogLine(::mcio::util::LogLevel::level)

@@ -1,0 +1,47 @@
+// Deterministic pseudo-random number generation.
+//
+// The simulator must produce bit-identical runs from the same seed, so we
+// carry our own xoshiro256** implementation instead of relying on the
+// standard library's unspecified distributions.
+#pragma once
+
+#include <cstdint>
+
+namespace mcio::util {
+
+/// SplitMix64: used to expand a single seed into xoshiro state.
+std::uint64_t splitmix64(std::uint64_t& state);
+
+/// xoshiro256** generator with deterministic distribution helpers.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound == 0 is invalid.
+  std::uint64_t uniform_u64(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform_double();
+
+  /// Uniform double in [lo, hi).
+  double uniform_double(double lo, double hi);
+
+  /// Normally distributed value (Box-Muller, deterministic).
+  double normal(double mean, double stdev);
+
+  /// Split off an independent stream (jump-free: reseeds via splitmix).
+  Rng fork();
+
+ private:
+  std::uint64_t s_[4];
+  bool has_cached_normal_ = false;
+  double cached_normal_ = 0.0;
+};
+
+}  // namespace mcio::util

@@ -1,0 +1,58 @@
+// Streaming statistics helpers used by the metrics layer and benches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace mcio::util {
+
+/// Welford streaming mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stdev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+  /// Coefficient of variation (stdev / mean); 0 when mean is 0.
+  double cv() const;
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Exact percentile over a stored sample set (nearest-rank method).
+double percentile(std::vector<double> values, double p);
+
+/// Fixed-width histogram over [lo, hi); out-of-range values clamp to the
+/// first/last bucket.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const;
+  std::uint64_t total() const { return total_; }
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace mcio::util

@@ -1,0 +1,64 @@
+// Column-aligned plain-text tables and CSV output for benches.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mcio::util {
+
+/// Collects rows of strings and prints them with aligned columns, in the
+/// style the paper's tables/figures are reported.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must have as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats arithmetic cells with operator<<.
+  template <typename... Ts>
+  void add(const Ts&... cells) {
+    add_row(std::vector<std::string>{to_cell(cells)...});
+  }
+
+  std::size_t rows() const { return rows_.size(); }
+
+  void print(std::ostream& os) const;
+  void print_csv(std::ostream& os) const;
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(v);
+    } else {
+      return cell_from_stream(v);
+    }
+  }
+
+  template <typename T>
+  static std::string cell_from_stream(const T& v);
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimals (bench output helper).
+std::string fixed(double v, int digits = 2);
+
+/// Formats a ratio as a signed percentage, e.g. +34.2 %.
+std::string percent(double ratio, int digits = 1);
+
+}  // namespace mcio::util
+
+#include <sstream>
+
+namespace mcio::util {
+template <typename T>
+std::string Table::cell_from_stream(const T& v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+}  // namespace mcio::util

@@ -1,0 +1,40 @@
+// The coll_perf access pattern (ROMIO test suite, paper §4.1).
+//
+// A 3-D global array in row-major order is block-distributed over a 3-D
+// process grid; each process reads/writes its subarray through an MPI
+// derived-datatype file view. Figure 6's runs use a 2048³ array over 120
+// processes; the benches scale the array while keeping the pattern.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "io/plan.h"
+#include "mpi/datatype.h"
+
+namespace mcio::workloads {
+
+struct CollPerfConfig {
+  std::array<std::uint64_t, 3> dims = {256, 256, 256};
+  std::uint64_t elem_size = 8;  ///< doubles, as in coll_perf
+};
+
+/// Balanced 3-D factorization of nprocs (MPI_Dims_create-style: factors
+/// as equal as possible, non-increasing).
+std::array<int, 3> dims_create3(int nprocs);
+
+/// The subarray file-view datatype of `rank` in the block distribution.
+mpi::Datatype collperf_filetype(int rank, int nprocs,
+                                const CollPerfConfig& config);
+
+/// Flattened plan for `rank` (buffer may be real or virtual and must be
+/// exactly collperf_bytes_per_rank long).
+io::AccessPlan collperf_plan(int rank, int nprocs,
+                             const CollPerfConfig& config,
+                             util::Payload buffer);
+
+std::uint64_t collperf_bytes_per_rank(int rank, int nprocs,
+                                      const CollPerfConfig& config);
+std::uint64_t collperf_total_bytes(const CollPerfConfig& config);
+
+}  // namespace mcio::workloads

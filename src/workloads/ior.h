@@ -1,0 +1,30 @@
+// The IOR access pattern (paper §4.2).
+//
+// IOR writes `segments` segments; within each segment every process owns
+// `block_size` bytes. In *segmented* layout a process's block is
+// contiguous; in *interleaved* (strided) layout the block is split into
+// `transfer_size` transfers interleaved round-robin across processes —
+// the "interleaved read and write operations" of the paper's evaluation.
+#pragma once
+
+#include <cstdint>
+
+#include "io/plan.h"
+
+namespace mcio::workloads {
+
+struct IorConfig {
+  std::uint64_t block_size = 32ull << 20;   ///< bytes per proc per segment
+  std::uint64_t transfer_size = 1ull << 20; ///< bytes per I/O transfer
+  int segments = 1;
+  bool interleaved = true;
+};
+
+/// Flattened plan for `rank`; buffer must be ior_bytes_per_rank long.
+io::AccessPlan ior_plan(int rank, int nprocs, const IorConfig& config,
+                        util::Payload buffer);
+
+std::uint64_t ior_bytes_per_rank(const IorConfig& config);
+std::uint64_t ior_total_bytes(int nprocs, const IorConfig& config);
+
+}  // namespace mcio::workloads

@@ -1,0 +1,34 @@
+// Deterministic data patterns for end-to-end verification.
+//
+// The byte at file offset `o` under seed `s` is a pure function of (s, o),
+// so any process can fill its buffer and any test can verify the file —
+// no golden files, no cross-rank coordination.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "io/plan.h"
+#include "pfs/store.h"
+#include "util/extent.h"
+
+namespace mcio::workloads {
+
+std::byte pattern_byte(std::uint64_t seed, std::uint64_t file_offset);
+
+/// Fills the plan's (real) buffer with the pattern of its file extents.
+void fill_pattern(const io::AccessPlan& plan, std::uint64_t seed);
+
+/// Verifies the plan's buffer against the pattern; on mismatch, writes a
+/// description to `error` (if non-null) and returns false.
+bool verify_pattern(const io::AccessPlan& plan, std::uint64_t seed,
+                    std::string* error = nullptr);
+
+/// Verifies bytes stored in the simulated file against the pattern over
+/// the given extents.
+bool verify_store(const pfs::Store& store,
+                  const std::vector<util::Extent>& extents,
+                  std::uint64_t seed, std::string* error = nullptr);
+
+}  // namespace mcio::workloads

@@ -1,0 +1,25 @@
+// Simple strided noncontiguous pattern (unit-test workload): `count`
+// blocks of `block` bytes, block k of rank r at
+// base + (k*nprocs + r)*stride.
+#pragma once
+
+#include <cstdint>
+
+#include "io/plan.h"
+
+namespace mcio::workloads {
+
+struct StridedConfig {
+  std::uint64_t base = 0;
+  std::uint64_t block = 4096;
+  std::uint64_t stride = 4096;  ///< per-slot stride; >= block
+  std::uint64_t count = 16;
+};
+
+io::AccessPlan strided_plan(int rank, int nprocs,
+                            const StridedConfig& config,
+                            util::Payload buffer);
+
+std::uint64_t strided_bytes_per_rank(const StridedConfig& config);
+
+}  // namespace mcio::workloads

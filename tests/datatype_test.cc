@@ -1,0 +1,180 @@
+// Derived datatypes: flattening semantics against brute-force typemaps.
+#include <gtest/gtest.h>
+
+#include "mpi/datatype.h"
+#include "util/rng.h"
+
+namespace mcio::mpi {
+namespace {
+
+using util::Extent;
+
+std::uint64_t total(const std::vector<Extent>& runs) {
+  std::uint64_t t = 0;
+  for (const Extent& e : runs) t += e.len;
+  return t;
+}
+
+TEST(Datatype, Bytes) {
+  const auto t = Datatype::bytes(16);
+  EXPECT_EQ(t.size(), 16u);
+  EXPECT_EQ(t.extent(), 16u);
+  EXPECT_TRUE(t.contiguous_data());
+  const auto runs = t.flatten(100, 3);
+  ASSERT_EQ(runs.size(), 1u);  // adjacent instances merge
+  EXPECT_EQ(runs[0], (Extent{100, 48}));
+}
+
+TEST(Datatype, Contiguous) {
+  const auto t = Datatype::contiguous(4, Datatype::bytes(8));
+  EXPECT_EQ(t.size(), 32u);
+  EXPECT_EQ(t.extent(), 32u);
+  EXPECT_EQ(t.flatten(0).size(), 1u);
+}
+
+TEST(Datatype, VectorStrided) {
+  // 3 blocks of 2 elements, stride 4 elements, element = 8 bytes.
+  const auto t = Datatype::vector(3, 2, 4, Datatype::bytes(8));
+  EXPECT_EQ(t.size(), 48u);
+  EXPECT_EQ(t.extent(), ((2ull * 4 + 2) * 8));  // (count-1)*stride+blocklen
+  const auto runs = t.flatten(0);
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0], (Extent{0, 16}));
+  EXPECT_EQ(runs[1], (Extent{32, 16}));
+  EXPECT_EQ(runs[2], (Extent{64, 16}));
+}
+
+TEST(Datatype, VectorFullBlocksCoalesce) {
+  const auto t = Datatype::vector(3, 4, 4, Datatype::bytes(2));
+  EXPECT_EQ(t.flatten(0).size(), 1u);
+  EXPECT_EQ(t.size(), 24u);
+}
+
+TEST(Datatype, Indexed) {
+  const auto t = Datatype::indexed({{4, 2}, {0, 1}, {8, 3}},
+                                   Datatype::bytes(4));
+  EXPECT_EQ(t.size(), 24u);
+  const auto runs = t.flatten(0);
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0], (Extent{0, 4}));
+  EXPECT_EQ(runs[1], (Extent{16, 8}));
+  EXPECT_EQ(runs[2], (Extent{32, 12}));
+}
+
+TEST(Datatype, Subarray2D) {
+  // 4x6 array of 1-byte elements; take rows 1-2, cols 2-4.
+  const auto t = Datatype::subarray({4, 6}, {2, 3}, {1, 2},
+                                    Datatype::bytes(1));
+  EXPECT_EQ(t.size(), 6u);
+  EXPECT_EQ(t.extent(), 24u);
+  const auto runs = t.flatten(0);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0], (Extent{8, 3}));
+  EXPECT_EQ(runs[1], (Extent{14, 3}));
+}
+
+TEST(Datatype, Subarray3DAgainstBruteForce) {
+  const std::vector<std::uint64_t> sizes = {5, 4, 6};
+  const std::vector<std::uint64_t> sub = {2, 3, 2};
+  const std::vector<std::uint64_t> start = {1, 0, 3};
+  const std::uint64_t elem = 4;
+  const auto t = Datatype::subarray(sizes, sub, start,
+                                    Datatype::bytes(elem));
+  // Brute force: mark every byte in the subarray.
+  std::vector<bool> expected(sizes[0] * sizes[1] * sizes[2] * elem, false);
+  for (std::uint64_t i = 0; i < sub[0]; ++i) {
+    for (std::uint64_t j = 0; j < sub[1]; ++j) {
+      for (std::uint64_t k = 0; k < sub[2]; ++k) {
+        const std::uint64_t off =
+            (((start[0] + i) * sizes[1] + start[1] + j) * sizes[2] +
+             start[2] + k) *
+            elem;
+        for (std::uint64_t b = 0; b < elem; ++b) expected[off + b] = true;
+      }
+    }
+  }
+  std::vector<bool> got(expected.size(), false);
+  for (const Extent& e : t.flatten(0)) {
+    for (std::uint64_t b = e.offset; b < e.end(); ++b) got[b] = true;
+  }
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(t.size(), sub[0] * sub[1] * sub[2] * elem);
+}
+
+TEST(Datatype, SubarrayFortranOrder) {
+  // Column-major: the fastest-varying dimension is the first.
+  const auto t = Datatype::subarray({4, 3}, {2, 2}, {1, 1},
+                                    Datatype::bytes(1), Order::kFortran);
+  const auto runs = t.flatten(0);
+  // Fortran layout of a 4x3 array: column j at offset j*4.
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0], (Extent{5, 2}));  // col 1, rows 1-2
+  EXPECT_EQ(runs[1], (Extent{9, 2}));  // col 2, rows 1-2
+}
+
+TEST(Datatype, ResizedTiling) {
+  // One 4-byte block resized to extent 16: tiles leave holes.
+  const auto base = Datatype::bytes(4);
+  const auto t = Datatype::resized(base, 0, 16);
+  const auto runs = t.flatten(0, 3);
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[1], (Extent{16, 4}));
+  EXPECT_EQ(runs[2], (Extent{32, 4}));
+}
+
+TEST(Datatype, FlattenBytesTrims) {
+  const auto t = Datatype::vector(2, 1, 2, Datatype::bytes(10));
+  // size=20 per instance. Ask for 25 bytes: one instance + 5 bytes.
+  const auto runs = t.flatten_bytes(0, 25);
+  EXPECT_EQ(total(runs), 25u);
+  // Ask for exactly two instances.
+  EXPECT_EQ(total(t.flatten_bytes(0, 40)), 40u);
+  // Zero bytes.
+  EXPECT_TRUE(t.flatten_bytes(0, 0).empty());
+}
+
+TEST(Datatype, FlattenBytesPartialRun) {
+  const auto t = Datatype::vector(3, 1, 3, Datatype::bytes(8));
+  const auto runs = t.flatten_bytes(100, 12);
+  ASSERT_EQ(runs.size(), 2u);
+  EXPECT_EQ(runs[0], (Extent{100, 8}));
+  EXPECT_EQ(runs[1], (Extent{124, 4}));  // second run trimmed to 4 bytes
+}
+
+TEST(Datatype, NestedVectorOfVector) {
+  const auto inner = Datatype::vector(2, 1, 2, Datatype::bytes(4));
+  const auto outer = Datatype::contiguous(2, inner);
+  EXPECT_EQ(outer.size(), 16u);
+  // Inner extent is 12 bytes ((count-1)*stride + blocklen elements), so
+  // the second instance's first block [12,16) merges with [8,12).
+  const auto runs = outer.flatten(0);
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0], (Extent{0, 4}));
+  EXPECT_EQ(runs[1], (Extent{8, 8}));
+  EXPECT_EQ(runs[2], (Extent{20, 4}));
+}
+
+class DatatypeProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DatatypeProperty, SizeEqualsSumOfRuns) {
+  util::Rng rng(GetParam());
+  for (int i = 0; i < 20; ++i) {
+    const auto elem = Datatype::bytes(1 + rng.uniform_u64(16));
+    const std::uint64_t count = 1 + rng.uniform_u64(5);
+    const std::uint64_t blocklen = 1 + rng.uniform_u64(4);
+    const std::uint64_t stride = blocklen + rng.uniform_u64(4);
+    const auto v = Datatype::vector(count, blocklen, stride, elem);
+    EXPECT_EQ(v.size(), count * blocklen * elem.size());
+    const std::uint64_t n = 1 + rng.uniform_u64(3);
+    EXPECT_EQ(total(v.flatten(7, n)), n * v.size());
+    // flatten_bytes of k bytes always returns k bytes.
+    const std::uint64_t k = rng.uniform_u64(3 * v.size() + 1);
+    EXPECT_EQ(total(v.flatten_bytes(13, k)), k);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DatatypeProperty,
+                         ::testing::Values(3, 17, 99, 2024));
+
+}  // namespace
+}  // namespace mcio::mpi

@@ -1,0 +1,209 @@
+// Extent algebra: unit tests plus randomized properties checked against a
+// brute-force byte-set model.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/extent.h"
+#include "util/rng.h"
+
+namespace mcio::util {
+namespace {
+
+TEST(Extent, Basics) {
+  const Extent e{10, 5};
+  EXPECT_EQ(e.end(), 15u);
+  EXPECT_FALSE(e.empty());
+  EXPECT_TRUE(e.contains(10));
+  EXPECT_TRUE(e.contains(14));
+  EXPECT_FALSE(e.contains(15));
+  EXPECT_TRUE(e.contains(Extent{11, 3}));
+  EXPECT_FALSE(e.contains(Extent{11, 5}));
+  EXPECT_TRUE(e.contains(Extent{20, 0}));  // empty is contained anywhere
+  EXPECT_TRUE(Extent({0, 0}).empty());
+}
+
+TEST(Extent, Overlaps) {
+  EXPECT_TRUE((Extent{0, 10}.overlaps(Extent{9, 1})));
+  EXPECT_FALSE((Extent{0, 10}.overlaps(Extent{10, 1})));
+  EXPECT_TRUE((Extent{5, 5}.overlaps(Extent{0, 6})));
+  EXPECT_FALSE((Extent{5, 5}.overlaps(Extent{0, 5})));
+}
+
+TEST(Extent, Intersect) {
+  EXPECT_EQ(intersect(Extent{0, 10}, Extent{5, 10}), (Extent{5, 5}));
+  EXPECT_EQ(intersect(Extent{5, 10}, Extent{0, 10}), (Extent{5, 5}));
+  EXPECT_FALSE(intersect(Extent{0, 5}, Extent{5, 5}).has_value());
+  EXPECT_FALSE(intersect(Extent{0, 0}, Extent{0, 5}).has_value());
+  EXPECT_EQ(intersect(Extent{3, 4}, Extent{0, 100}), (Extent{3, 4}));
+}
+
+TEST(ExtentList, NormalizeMergesAdjacentAndOverlapping) {
+  const auto list = ExtentList::normalize(
+      {{10, 5}, {0, 5}, {5, 5}, {30, 2}, {29, 2}, {50, 0}});
+  ASSERT_EQ(list.size(), 2u);
+  EXPECT_EQ(list.runs()[0], (Extent{0, 15}));
+  EXPECT_EQ(list.runs()[1], (Extent{29, 3}));
+  EXPECT_EQ(list.total_bytes(), 18u);
+  EXPECT_EQ(list.bounds(), (Extent{0, 32}));
+}
+
+TEST(ExtentList, AddKeepsUnionCorrect) {
+  // Regression for the order-of-mutation bug: extending a run to the
+  // right must keep the extended tail.
+  ExtentList l;
+  l.add(Extent{0, 10});
+  l.add(Extent{10, 10});
+  ASSERT_EQ(l.size(), 1u);
+  EXPECT_EQ(l.runs()[0], (Extent{0, 20}));
+  l.add(Extent{30, 5});
+  l.add(Extent{19, 12});  // bridges the gap
+  ASSERT_EQ(l.size(), 1u);
+  EXPECT_EQ(l.runs()[0], (Extent{0, 35}));
+}
+
+TEST(ExtentList, Clipped) {
+  const auto list =
+      ExtentList::normalize({{0, 10}, {20, 10}, {40, 10}});
+  const auto clip = list.clipped(Extent{5, 30});
+  ASSERT_EQ(clip.size(), 2u);
+  EXPECT_EQ(clip.runs()[0], (Extent{5, 5}));
+  EXPECT_EQ(clip.runs()[1], (Extent{20, 10}));
+  EXPECT_TRUE(list.clipped(Extent{10, 10}).empty());
+  EXPECT_TRUE(list.clipped(Extent{100, 5}).empty());
+}
+
+TEST(ExtentList, Covers) {
+  const auto list = ExtentList::normalize({{0, 10}, {20, 10}});
+  EXPECT_TRUE(list.covers(Extent{0, 10}));
+  EXPECT_TRUE(list.covers(Extent{22, 5}));
+  EXPECT_FALSE(list.covers(Extent{5, 10}));
+  EXPECT_FALSE(list.covers(Extent{9, 2}));
+  EXPECT_TRUE(list.covers(Extent{500, 0}));
+}
+
+TEST(ExtentList, Intersected) {
+  const auto a = ExtentList::normalize({{0, 10}, {20, 10}, {40, 4}});
+  const auto b = ExtentList::normalize({{5, 20}, {41, 10}});
+  const auto x = a.intersected(b);
+  ASSERT_EQ(x.size(), 3u);
+  EXPECT_EQ(x.runs()[0], (Extent{5, 5}));
+  EXPECT_EQ(x.runs()[1], (Extent{20, 5}));
+  EXPECT_EQ(x.runs()[2], (Extent{41, 3}));
+}
+
+TEST(Pieces, InWindowWithBufferOffsets) {
+  const std::vector<Extent> ext = {{0, 10}, {20, 10}, {40, 10}};
+  const auto pieces = pieces_in_window(ext, Extent{5, 40});
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[0], (Piece{5, 5, 5}));
+  EXPECT_EQ(pieces[1], (Piece{20, 10, 10}));
+  EXPECT_EQ(pieces[2], (Piece{40, 20, 5}));
+}
+
+TEST(Pieces, PackedOffset) {
+  const std::vector<Extent> ext = {{0, 10}, {20, 10}};
+  EXPECT_EQ(packed_offset_of(ext, 0), 0u);
+  EXPECT_EQ(packed_offset_of(ext, 5), 5u);
+  EXPECT_EQ(packed_offset_of(ext, 15), 10u);  // inside the gap
+  EXPECT_EQ(packed_offset_of(ext, 25), 15u);
+  EXPECT_EQ(packed_offset_of(ext, 100), 20u);
+}
+
+// ---- randomized property tests against a brute-force set-of-bytes model.
+
+class ExtentListProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+std::set<std::uint64_t> to_set(const ExtentList& l) {
+  std::set<std::uint64_t> s;
+  for (const Extent& e : l.runs()) {
+    for (std::uint64_t i = e.offset; i < e.end(); ++i) s.insert(i);
+  }
+  return s;
+}
+
+TEST_P(ExtentListProperty, UnionMatchesBruteForce) {
+  Rng rng(GetParam());
+  ExtentList list;
+  std::set<std::uint64_t> model;
+  for (int i = 0; i < 60; ++i) {
+    const Extent e{rng.uniform_u64(200), rng.uniform_u64(20)};
+    list.add(e);
+    for (std::uint64_t b = e.offset; b < e.end(); ++b) model.insert(b);
+    // Invariants: sorted, disjoint, non-adjacent.
+    for (std::size_t k = 1; k < list.runs().size(); ++k) {
+      ASSERT_LT(list.runs()[k - 1].end(), list.runs()[k].offset);
+    }
+    ASSERT_EQ(to_set(list), model);
+    ASSERT_EQ(list.total_bytes(), model.size());
+  }
+}
+
+TEST_P(ExtentListProperty, ClipMatchesBruteForce) {
+  Rng rng(GetParam() ^ 0xabcdef);
+  std::vector<Extent> raw;
+  for (int i = 0; i < 30; ++i) {
+    raw.push_back(Extent{rng.uniform_u64(300), rng.uniform_u64(15)});
+  }
+  const auto list = ExtentList::normalize(raw);
+  const auto model = to_set(list);
+  for (int i = 0; i < 20; ++i) {
+    const Extent w{rng.uniform_u64(300), rng.uniform_u64(80)};
+    const auto clip = list.clipped(w);
+    std::set<std::uint64_t> expected;
+    for (const std::uint64_t b : model) {
+      if (w.contains(b)) expected.insert(b);
+    }
+    ASSERT_EQ(to_set(clip), expected) << "window " << w;
+  }
+}
+
+TEST_P(ExtentListProperty, IntersectionMatchesBruteForce) {
+  Rng rng(GetParam() ^ 0x1234);
+  std::vector<Extent> ra, rb;
+  for (int i = 0; i < 25; ++i) {
+    ra.push_back(Extent{rng.uniform_u64(250), rng.uniform_u64(12)});
+    rb.push_back(Extent{rng.uniform_u64(250), rng.uniform_u64(12)});
+  }
+  const auto a = ExtentList::normalize(ra);
+  const auto b = ExtentList::normalize(rb);
+  const auto sa = to_set(a);
+  const auto sb = to_set(b);
+  std::set<std::uint64_t> expected;
+  for (const auto v : sa) {
+    if (sb.count(v)) expected.insert(v);
+  }
+  EXPECT_EQ(to_set(a.intersected(b)), expected);
+}
+
+TEST_P(ExtentListProperty, PiecesPartitionTheWindow) {
+  Rng rng(GetParam() ^ 0x777);
+  std::vector<Extent> raw;
+  for (int i = 0; i < 20; ++i) {
+    raw.push_back(Extent{rng.uniform_u64(400), 1 + rng.uniform_u64(10)});
+  }
+  const auto list = ExtentList::normalize(raw);
+  const auto& ext = list.runs();
+  // Monotone windows, as the exchange engine issues them.
+  std::uint64_t pos = 0;
+  while (pos < 420) {
+    const std::uint64_t len = 1 + rng.uniform_u64(60);
+    const Extent w{pos, len};
+    const auto pieces = pieces_in_window(ext, w);
+    std::uint64_t total = 0;
+    for (const auto& p : pieces) {
+      ASSERT_TRUE(w.contains(Extent{p.file_offset, p.len}));
+      ASSERT_EQ(packed_offset_of(ext, p.file_offset), p.buf_offset);
+      total += p.len;
+    }
+    ASSERT_EQ(total, list.clipped(w).total_bytes());
+    pos += len;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExtentListProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+}  // namespace
+}  // namespace mcio::util

@@ -1,0 +1,152 @@
+// Aggregation Group Division (§3.1), including the Figure 4 example.
+#include <gtest/gtest.h>
+
+#include "core/group_division.h"
+
+namespace mcio::core {
+namespace {
+
+using util::Extent;
+
+TEST(GroupDivision, SerialDetection) {
+  EXPECT_TRUE(is_serial_distribution({{0, 10}, {10, 10}, {25, 5}}));
+  EXPECT_TRUE(is_serial_distribution({{25, 5}, {0, 10}, {10, 10}}));
+  EXPECT_FALSE(is_serial_distribution({{0, 10}, {5, 10}}));
+  EXPECT_TRUE(is_serial_distribution({{0, 10}, {0, 0}, {10, 5}}));
+  EXPECT_TRUE(is_serial_distribution({}));
+}
+
+TEST(GroupDivision, Figure4Example) {
+  // Figure 4: 9 processes on 3 compute nodes, serially distributed data.
+  // With Msg_group below a node's worth of data, group one is extended to
+  // the ending offset of the last process on node one, so no node hosts
+  // aggregators for two groups.
+  GroupDivisionInput in;
+  for (int r = 0; r < 9; ++r) {
+    in.rank_bounds.push_back(
+        Extent{static_cast<std::uint64_t>(r) * 100, 100});
+    in.rank_nodes.push_back(r / 3);
+  }
+  in.msg_group = 150;  // reached mid-node: must extend to node boundary
+  const auto groups = divide_groups(in);
+  ASSERT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[0].region, (Extent{0, 300}));
+  EXPECT_EQ(groups[1].region, (Extent{300, 300}));
+  EXPECT_EQ(groups[2].region, (Extent{600, 300}));
+  EXPECT_EQ(groups[0].ranks, (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(groups[1].ranks, (std::vector<int>{3, 4, 5}));
+  EXPECT_EQ(groups[2].ranks, (std::vector<int>{6, 7, 8}));
+}
+
+TEST(GroupDivision, SerialLargeMsgGroupSpansNodes) {
+  GroupDivisionInput in;
+  for (int r = 0; r < 9; ++r) {
+    in.rank_bounds.push_back(
+        Extent{static_cast<std::uint64_t>(r) * 100, 100});
+    in.rank_nodes.push_back(r / 3);
+  }
+  in.msg_group = 550;  // cut lands inside node 2 -> extend to its end
+  const auto groups = divide_groups(in);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].region, (Extent{0, 600}));
+  EXPECT_EQ(groups[1].region, (Extent{600, 300}));
+}
+
+TEST(GroupDivision, SerialOneGroupWhenMsgGroupHuge) {
+  GroupDivisionInput in;
+  for (int r = 0; r < 6; ++r) {
+    in.rank_bounds.push_back(
+        Extent{static_cast<std::uint64_t>(r) * 10, 10});
+    in.rank_nodes.push_back(r / 2);
+  }
+  in.msg_group = 1 << 30;
+  const auto groups = divide_groups(in);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].region, (Extent{0, 60}));
+  EXPECT_EQ(groups[0].ranks.size(), 6u);
+}
+
+TEST(GroupDivision, SerialRanksOutOfOffsetOrder) {
+  // Ranks' regions in reverse rank order: the linearization walks by
+  // offset, not by rank id.
+  GroupDivisionInput in;
+  for (int r = 0; r < 4; ++r) {
+    in.rank_bounds.push_back(
+        Extent{static_cast<std::uint64_t>(3 - r) * 100, 100});
+    in.rank_nodes.push_back(r / 2);
+  }
+  in.msg_group = 150;
+  const auto groups = divide_groups(in);
+  ASSERT_GE(groups.size(), 1u);
+  // Coverage: regions are disjoint, sorted, and cover all data.
+  std::uint64_t pos = 0;
+  for (const auto& g : groups) {
+    EXPECT_GE(g.region.offset, pos);
+    pos = g.region.end();
+  }
+  EXPECT_EQ(pos, 400u);
+}
+
+TEST(GroupDivision, InterleavedFallbackPartitionsRegionAndNodes) {
+  GroupDivisionInput in;
+  // 8 ranks on 4 nodes, everyone touching the whole file (interleaved).
+  for (int r = 0; r < 8; ++r) {
+    in.rank_bounds.push_back(
+        Extent{static_cast<std::uint64_t>(r), 1000});
+    in.rank_nodes.push_back(r / 2);
+  }
+  in.msg_group = 300;
+  const auto groups = divide_groups(in);
+  ASSERT_GE(groups.size(), 2u);
+  ASSERT_LE(groups.size(), 4u);  // capped at node count
+  // Regions tile the span; node shares are disjoint.
+  std::uint64_t pos = 0;
+  std::set<int> seen_ranks;
+  for (const auto& g : groups) {
+    EXPECT_EQ(g.region.offset, pos);
+    pos = g.region.end();
+    for (const int r : g.ranks) {
+      EXPECT_TRUE(seen_ranks.insert(r).second)
+          << "rank " << r << " in two groups";
+    }
+  }
+  EXPECT_EQ(pos, 1007u);
+}
+
+TEST(GroupDivision, InterleavedWeightedRegions) {
+  GroupDivisionInput in;
+  for (int r = 0; r < 4; ++r) {
+    in.rank_bounds.push_back(Extent{0, 1000});
+    in.rank_nodes.push_back(r);  // one rank per node
+  }
+  in.msg_group = 250;  // 4 groups over 4 nodes
+  in.node_weights = {1.0, 1.0, 3.0, 3.0};
+  const auto groups = divide_groups(in);
+  ASSERT_EQ(groups.size(), 4u);
+  // Heavier nodes get proportionally bigger regions.
+  EXPECT_LT(groups[0].region.len, groups[2].region.len);
+  EXPECT_NEAR(static_cast<double>(groups[0].region.len), 125.0, 2.0);
+  EXPECT_NEAR(static_cast<double>(groups[2].region.len), 375.0, 2.0);
+}
+
+TEST(GroupDivision, EmptyInputs) {
+  GroupDivisionInput in;
+  in.msg_group = 100;
+  EXPECT_TRUE(divide_groups(in).empty());
+  in.rank_bounds = {{0, 0}, {0, 0}};
+  in.rank_nodes = {0, 1};
+  EXPECT_TRUE(divide_groups(in).empty());
+}
+
+TEST(GroupDivision, RanksWithoutDataExcluded) {
+  GroupDivisionInput in;
+  in.rank_bounds = {{0, 100}, {0, 0}, {100, 100}};
+  in.rank_nodes = {0, 0, 1};
+  in.msg_group = 1000;
+  const auto groups = divide_groups(in);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].ranks, (std::vector<int>{0, 2}));
+}
+
+}  // namespace
+}  // namespace mcio::core

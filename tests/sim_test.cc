@@ -1,0 +1,167 @@
+// Simulation kernel: virtual-time scheduling order, park/unpark,
+// determinism, deadlock detection and bandwidth-queue behaviour.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/resource.h"
+#include "sim/topology.h"
+#include "util/check.h"
+
+namespace mcio::sim {
+namespace {
+
+TEST(Engine, RunsActorsToCompletion) {
+  Engine engine;
+  std::vector<int> done;
+  for (int i = 0; i < 5; ++i) {
+    engine.spawn([i, &done](Actor& a) {
+      a.advance(0.1 * (5 - i));
+      done.push_back(i);
+    });
+  }
+  engine.run();
+  EXPECT_EQ(done.size(), 5u);
+  EXPECT_EQ(engine.finish_times().size(), 5u);
+  EXPECT_NEAR(engine.makespan(), 0.5, 1e-12);
+}
+
+TEST(Engine, SyncOrdersByVirtualTime) {
+  // Actors advance different amounts, then sync; the order in which they
+  // pass the sync point must follow virtual clocks, not spawn order.
+  Engine engine;
+  std::vector<int> order;
+  const double delays[] = {0.3, 0.1, 0.2};
+  for (int i = 0; i < 3; ++i) {
+    engine.spawn([i, &delays, &order](Actor& a) {
+      a.advance(delays[i]);
+      a.sync();
+      order.push_back(i);
+    });
+  }
+  engine.run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 1);
+  EXPECT_EQ(order[1], 2);
+  EXPECT_EQ(order[2], 0);
+}
+
+TEST(Engine, ParkAndUnparkTransfersControl) {
+  Engine engine;
+  bool woke = false;
+  const int sleeper = engine.spawn([&](Actor& a) {
+    a.park();
+    woke = true;
+    EXPECT_GE(a.now(), 2.5);
+  });
+  engine.spawn([&, sleeper](Actor& a) {
+    a.advance(2.5);
+    a.sync();
+    EXPECT_TRUE(a.engine().is_parked(sleeper));
+    a.engine().unpark(sleeper, a.now());
+  });
+  engine.run();
+  EXPECT_TRUE(woke);
+}
+
+TEST(Engine, DeadlockDetected) {
+  Engine engine;
+  engine.spawn([](Actor& a) { a.park(); });  // nobody will wake it
+  EXPECT_THROW(engine.run(), util::Error);
+}
+
+TEST(Engine, ActorExceptionPropagates) {
+  Engine engine;
+  engine.spawn([](Actor&) { throw util::Error("boom"); });
+  EXPECT_THROW(engine.run(), util::Error);
+}
+
+TEST(Engine, DeterministicFinishTimes) {
+  auto run_once = [] {
+    Engine engine;
+    for (int i = 0; i < 8; ++i) {
+      engine.spawn([i](Actor& a) {
+        for (int k = 0; k < 10; ++k) {
+          a.advance(0.01 * ((i + k) % 3 + 1));
+          a.sync();
+        }
+      });
+    }
+    engine.run();
+    return engine.finish_times();
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Engine, AdvanceToNeverMovesBackwards) {
+  Engine engine;
+  engine.spawn([](Actor& a) {
+    a.advance(1.0);
+    a.advance_to(0.5);
+    EXPECT_DOUBLE_EQ(a.now(), 1.0);
+    a.advance_to(2.0);
+    EXPECT_DOUBLE_EQ(a.now(), 2.0);
+  });
+  engine.run();
+}
+
+TEST(BandwidthQueue, ServeAndQueueing) {
+  BandwidthQueue q("test", 100.0);  // 100 B/s
+  const SimTime t1 = q.serve(0.0, 50.0);
+  EXPECT_DOUBLE_EQ(t1, 0.5);
+  // Second request queues behind the first even if it "starts" earlier.
+  const SimTime t2 = q.serve(0.1, 100.0);
+  EXPECT_DOUBLE_EQ(t2, 1.5);
+  // A request after idle time starts immediately.
+  const SimTime t3 = q.serve(10.0, 100.0);
+  EXPECT_DOUBLE_EQ(t3, 11.0);
+  EXPECT_EQ(q.total_requests(), 3u);
+  EXPECT_DOUBLE_EQ(q.total_bytes(), 250.0);
+}
+
+TEST(BandwidthQueue, LatencyAndScale) {
+  BandwidthQueue q("test", 100.0, 0.25);
+  EXPECT_DOUBLE_EQ(q.serve(0.0, 100.0), 1.25);
+  // bw_scale halves the effective bandwidth; extra latency adds on top.
+  EXPECT_DOUBLE_EQ(q.serve(10.0, 100.0, 0.5, 0.5), 10.0 + 0.25 + 0.5 + 2.0);
+  EXPECT_THROW(q.serve(0.0, 10.0, 0.0), util::Error);
+}
+
+TEST(BandwidthQueue, Utilization) {
+  BandwidthQueue q("test", 100.0);
+  q.serve(0.0, 100.0);
+  EXPECT_NEAR(q.utilization(2.0), 0.5, 1e-12);
+  EXPECT_NEAR(q.utilization(0.5), 1.0, 1e-12);
+  q.reset_accounting();
+  EXPECT_DOUBLE_EQ(q.busy_time(), 0.0);
+}
+
+TEST(Cluster, TopologyMapping) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 3;
+  cfg.ranks_per_node = 4;
+  Cluster cluster(cfg);
+  EXPECT_EQ(cluster.total_ranks(), 12);
+  EXPECT_EQ(cluster.node_of_rank(0), 0);
+  EXPECT_EQ(cluster.node_of_rank(3), 0);
+  EXPECT_EQ(cluster.node_of_rank(4), 1);
+  EXPECT_EQ(cluster.node_of_rank(11), 2);
+  EXPECT_THROW(cluster.node_of_rank(12), util::Error);
+  EXPECT_EQ(cluster.first_rank_on_node(2), 8);
+  EXPECT_EQ(cluster.ranks_on_node(1),
+            (std::vector<int>{4, 5, 6, 7}));
+}
+
+TEST(Cluster, DistinctResourcesPerNode) {
+  ClusterConfig cfg;
+  cfg.num_nodes = 2;
+  Cluster cluster(cfg);
+  cluster.nic_out(0).serve(0.0, 1e6);
+  EXPECT_GT(cluster.nic_out(0).next_free(), 0.0);
+  EXPECT_DOUBLE_EQ(cluster.nic_out(1).next_free(), 0.0);
+  EXPECT_DOUBLE_EQ(cluster.membus(0).next_free(), 0.0);
+}
+
+}  // namespace
+}  // namespace mcio::sim
