@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_collective"
+  "../bench/ablation_collective.pdb"
+  "CMakeFiles/ablation_collective.dir/ablation_collective.cc.o"
+  "CMakeFiles/ablation_collective.dir/ablation_collective.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_collective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_nah"
+  "../bench/ablation_nah.pdb"
+  "CMakeFiles/ablation_nah.dir/ablation_nah.cc.o"
+  "CMakeFiles/ablation_nah.dir/ablation_nah.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nah.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_variance"
+  "../bench/ablation_variance.pdb"
+  "CMakeFiles/ablation_variance.dir/ablation_variance.cc.o"
+  "CMakeFiles/ablation_variance.dir/ablation_variance.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig6_collperf.cc" "bench_build/CMakeFiles/fig6_collperf.dir/fig6_collperf.cc.o" "gcc" "bench_build/CMakeFiles/fig6_collperf.dir/fig6_collperf.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mcio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/mcio_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/mcio_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/mcio_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/mcio_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/mcio_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/mcio_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mcio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mcio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_collperf"
+  "../bench/fig6_collperf.pdb"
+  "CMakeFiles/fig6_collperf.dir/fig6_collperf.cc.o"
+  "CMakeFiles/fig6_collperf.dir/fig6_collperf.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_collperf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

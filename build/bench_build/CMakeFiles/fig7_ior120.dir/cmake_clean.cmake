@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_ior120"
+  "../bench/fig7_ior120.pdb"
+  "CMakeFiles/fig7_ior120.dir/fig7_ior120.cc.o"
+  "CMakeFiles/fig7_ior120.dir/fig7_ior120.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_ior120.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

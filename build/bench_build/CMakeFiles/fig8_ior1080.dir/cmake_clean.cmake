@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_ior1080"
+  "../bench/fig8_ior1080.pdb"
+  "CMakeFiles/fig8_ior1080.dir/fig8_ior1080.cc.o"
+  "CMakeFiles/fig8_ior1080.dir/fig8_ior1080.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_ior1080.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

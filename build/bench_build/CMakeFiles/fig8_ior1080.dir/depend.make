@@ -1,0 +1,2 @@
+# Empty dependencies file for fig8_ior1080.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_datatype"
+  "../bench/micro_datatype.pdb"
+  "CMakeFiles/micro_datatype.dir/micro_datatype.cc.o"
+  "CMakeFiles/micro_datatype.dir/micro_datatype.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_datatype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_partition_tree"
+  "../bench/micro_partition_tree.pdb"
+  "CMakeFiles/micro_partition_tree.dir/micro_partition_tree.cc.o"
+  "CMakeFiles/micro_partition_tree.dir/micro_partition_tree.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_partition_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

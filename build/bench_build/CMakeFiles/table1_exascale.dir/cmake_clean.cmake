@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/table1_exascale"
+  "../bench/table1_exascale.pdb"
+  "CMakeFiles/table1_exascale.dir/table1_exascale.cc.o"
+  "CMakeFiles/table1_exascale.dir/table1_exascale.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_exascale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/tuner_probe"
+  "../bench/tuner_probe.pdb"
+  "CMakeFiles/tuner_probe.dir/tuner_probe.cc.o"
+  "CMakeFiles/tuner_probe.dir/tuner_probe.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuner_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

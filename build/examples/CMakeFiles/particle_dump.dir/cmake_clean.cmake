@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/particle_dump.dir/particle_dump.cpp.o"
+  "CMakeFiles/particle_dump.dir/particle_dump.cpp.o.d"
+  "particle_dump"
+  "particle_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/particle_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

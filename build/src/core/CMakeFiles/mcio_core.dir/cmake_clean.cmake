@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcio_core.dir/aggregator_location.cc.o"
+  "CMakeFiles/mcio_core.dir/aggregator_location.cc.o.d"
+  "CMakeFiles/mcio_core.dir/group_division.cc.o"
+  "CMakeFiles/mcio_core.dir/group_division.cc.o.d"
+  "CMakeFiles/mcio_core.dir/mccio_driver.cc.o"
+  "CMakeFiles/mcio_core.dir/mccio_driver.cc.o.d"
+  "CMakeFiles/mcio_core.dir/partition_tree.cc.o"
+  "CMakeFiles/mcio_core.dir/partition_tree.cc.o.d"
+  "CMakeFiles/mcio_core.dir/tuner.cc.o"
+  "CMakeFiles/mcio_core.dir/tuner.cc.o.d"
+  "libmcio_core.a"
+  "libmcio_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcio_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/exchange.cc" "src/io/CMakeFiles/mcio_io.dir/exchange.cc.o" "gcc" "src/io/CMakeFiles/mcio_io.dir/exchange.cc.o.d"
+  "/root/repo/src/io/independent.cc" "src/io/CMakeFiles/mcio_io.dir/independent.cc.o" "gcc" "src/io/CMakeFiles/mcio_io.dir/independent.cc.o.d"
+  "/root/repo/src/io/mpi_file.cc" "src/io/CMakeFiles/mcio_io.dir/mpi_file.cc.o" "gcc" "src/io/CMakeFiles/mcio_io.dir/mpi_file.cc.o.d"
+  "/root/repo/src/io/plan.cc" "src/io/CMakeFiles/mcio_io.dir/plan.cc.o" "gcc" "src/io/CMakeFiles/mcio_io.dir/plan.cc.o.d"
+  "/root/repo/src/io/two_phase_driver.cc" "src/io/CMakeFiles/mcio_io.dir/two_phase_driver.cc.o" "gcc" "src/io/CMakeFiles/mcio_io.dir/two_phase_driver.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mpi/CMakeFiles/mcio_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/mcio_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/mcio_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/mcio_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mcio_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mcio_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcio_io.dir/exchange.cc.o"
+  "CMakeFiles/mcio_io.dir/exchange.cc.o.d"
+  "CMakeFiles/mcio_io.dir/independent.cc.o"
+  "CMakeFiles/mcio_io.dir/independent.cc.o.d"
+  "CMakeFiles/mcio_io.dir/mpi_file.cc.o"
+  "CMakeFiles/mcio_io.dir/mpi_file.cc.o.d"
+  "CMakeFiles/mcio_io.dir/plan.cc.o"
+  "CMakeFiles/mcio_io.dir/plan.cc.o.d"
+  "CMakeFiles/mcio_io.dir/two_phase_driver.cc.o"
+  "CMakeFiles/mcio_io.dir/two_phase_driver.cc.o.d"
+  "libmcio_io.a"
+  "libmcio_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcio_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcio_metrics.dir/collective_stats.cc.o"
+  "CMakeFiles/mcio_metrics.dir/collective_stats.cc.o.d"
+  "libmcio_metrics.a"
+  "libmcio_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcio_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcio_mpi.dir/collectives.cc.o"
+  "CMakeFiles/mcio_mpi.dir/collectives.cc.o.d"
+  "CMakeFiles/mcio_mpi.dir/comm.cc.o"
+  "CMakeFiles/mcio_mpi.dir/comm.cc.o.d"
+  "CMakeFiles/mcio_mpi.dir/datatype.cc.o"
+  "CMakeFiles/mcio_mpi.dir/datatype.cc.o.d"
+  "CMakeFiles/mcio_mpi.dir/machine.cc.o"
+  "CMakeFiles/mcio_mpi.dir/machine.cc.o.d"
+  "libmcio_mpi.a"
+  "libmcio_mpi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcio_mpi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

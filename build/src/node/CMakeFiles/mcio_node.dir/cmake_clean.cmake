@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcio_node.dir/memory.cc.o"
+  "CMakeFiles/mcio_node.dir/memory.cc.o.d"
+  "libmcio_node.a"
+  "libmcio_node.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcio_node.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcio_pfs.dir/pfs.cc.o"
+  "CMakeFiles/mcio_pfs.dir/pfs.cc.o.d"
+  "CMakeFiles/mcio_pfs.dir/store.cc.o"
+  "CMakeFiles/mcio_pfs.dir/store.cc.o.d"
+  "libmcio_pfs.a"
+  "libmcio_pfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcio_pfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmcio_pfs.a"
+)

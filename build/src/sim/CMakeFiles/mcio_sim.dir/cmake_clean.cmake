@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcio_sim.dir/engine.cc.o"
+  "CMakeFiles/mcio_sim.dir/engine.cc.o.d"
+  "CMakeFiles/mcio_sim.dir/fiber.cc.o"
+  "CMakeFiles/mcio_sim.dir/fiber.cc.o.d"
+  "CMakeFiles/mcio_sim.dir/resource.cc.o"
+  "CMakeFiles/mcio_sim.dir/resource.cc.o.d"
+  "CMakeFiles/mcio_sim.dir/topology.cc.o"
+  "CMakeFiles/mcio_sim.dir/topology.cc.o.d"
+  "libmcio_sim.a"
+  "libmcio_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcio_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcio_util.dir/bytes.cc.o"
+  "CMakeFiles/mcio_util.dir/bytes.cc.o.d"
+  "CMakeFiles/mcio_util.dir/cli.cc.o"
+  "CMakeFiles/mcio_util.dir/cli.cc.o.d"
+  "CMakeFiles/mcio_util.dir/extent.cc.o"
+  "CMakeFiles/mcio_util.dir/extent.cc.o.d"
+  "CMakeFiles/mcio_util.dir/log.cc.o"
+  "CMakeFiles/mcio_util.dir/log.cc.o.d"
+  "CMakeFiles/mcio_util.dir/rng.cc.o"
+  "CMakeFiles/mcio_util.dir/rng.cc.o.d"
+  "CMakeFiles/mcio_util.dir/stats.cc.o"
+  "CMakeFiles/mcio_util.dir/stats.cc.o.d"
+  "CMakeFiles/mcio_util.dir/table.cc.o"
+  "CMakeFiles/mcio_util.dir/table.cc.o.d"
+  "libmcio_util.a"
+  "libmcio_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcio_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

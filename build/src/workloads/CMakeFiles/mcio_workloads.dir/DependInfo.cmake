@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/collperf.cc" "src/workloads/CMakeFiles/mcio_workloads.dir/collperf.cc.o" "gcc" "src/workloads/CMakeFiles/mcio_workloads.dir/collperf.cc.o.d"
+  "/root/repo/src/workloads/ior.cc" "src/workloads/CMakeFiles/mcio_workloads.dir/ior.cc.o" "gcc" "src/workloads/CMakeFiles/mcio_workloads.dir/ior.cc.o.d"
+  "/root/repo/src/workloads/pattern.cc" "src/workloads/CMakeFiles/mcio_workloads.dir/pattern.cc.o" "gcc" "src/workloads/CMakeFiles/mcio_workloads.dir/pattern.cc.o.d"
+  "/root/repo/src/workloads/strided.cc" "src/workloads/CMakeFiles/mcio_workloads.dir/strided.cc.o" "gcc" "src/workloads/CMakeFiles/mcio_workloads.dir/strided.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/io/CMakeFiles/mcio_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpi/CMakeFiles/mcio_mpi.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/mcio_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/pfs/CMakeFiles/mcio_pfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/node/CMakeFiles/mcio_node.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/mcio_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/mcio_metrics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcio_workloads.dir/collperf.cc.o"
+  "CMakeFiles/mcio_workloads.dir/collperf.cc.o.d"
+  "CMakeFiles/mcio_workloads.dir/ior.cc.o"
+  "CMakeFiles/mcio_workloads.dir/ior.cc.o.d"
+  "CMakeFiles/mcio_workloads.dir/pattern.cc.o"
+  "CMakeFiles/mcio_workloads.dir/pattern.cc.o.d"
+  "CMakeFiles/mcio_workloads.dir/strided.cc.o"
+  "CMakeFiles/mcio_workloads.dir/strided.cc.o.d"
+  "libmcio_workloads.a"
+  "libmcio_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcio_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

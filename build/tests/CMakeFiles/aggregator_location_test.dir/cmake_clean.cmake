@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregator_location_test.dir/aggregator_location_test.cc.o"
+  "CMakeFiles/aggregator_location_test.dir/aggregator_location_test.cc.o.d"
+  "aggregator_location_test"
+  "aggregator_location_test.pdb"
+  "aggregator_location_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregator_location_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/group_division_test.dir/group_division_test.cc.o"
+  "CMakeFiles/group_division_test.dir/group_division_test.cc.o.d"
+  "group_division_test"
+  "group_division_test.pdb"
+  "group_division_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/group_division_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

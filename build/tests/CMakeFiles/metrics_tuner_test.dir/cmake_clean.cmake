@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_tuner_test.dir/metrics_tuner_test.cc.o"
+  "CMakeFiles/metrics_tuner_test.dir/metrics_tuner_test.cc.o.d"
+  "metrics_tuner_test"
+  "metrics_tuner_test.pdb"
+  "metrics_tuner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_tuner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simulation_property_test.dir/simulation_property_test.cc.o"
+  "CMakeFiles/simulation_property_test.dir/simulation_property_test.cc.o.d"
+  "simulation_property_test"
+  "simulation_property_test.pdb"
+  "simulation_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simulation_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

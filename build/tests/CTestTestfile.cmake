@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/extent_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/mpi_test[1]_include.cmake")
+include("/root/repo/build/tests/datatype_test[1]_include.cmake")
+include("/root/repo/build/tests/pfs_node_test[1]_include.cmake")
+include("/root/repo/build/tests/partition_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/group_division_test[1]_include.cmake")
+include("/root/repo/build/tests/aggregator_location_test[1]_include.cmake")
+include("/root/repo/build/tests/driver_plan_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/exchange_test[1]_include.cmake")
+include("/root/repo/build/tests/simulation_property_test[1]_include.cmake")
+include("/root/repo/build/tests/metrics_tuner_test[1]_include.cmake")
