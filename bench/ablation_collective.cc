@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   // contiguous requests is the whole point of collective I/O (§1).
   const std::uint64_t block = cli.get_bytes("block", 4ull << 20);
   const std::uint64_t transfer = cli.get_bytes("transfer", 64ull << 10);
+  bench::JsonReporter rep(cli, "ablation_collective");
   cli.check_unused();
 
   workloads::IorConfig w;
@@ -41,6 +42,9 @@ int main(int argc, char** argv) {
     opt.testbed = tb;
     opt.mem_mean = 16ull << 20;
     const auto r = bench::run_experiment(opt, make_plan);
+    rep.add_point(bench::driver_name(kind))
+        .set("write_mbs", r.write_bw / 1e6)
+        .set("read_mbs", r.read_bw / 1e6);
     table.add(bench::driver_name(kind), util::fixed(r.write_bw / 1e6),
               util::fixed(r.read_bw / 1e6));
   }
@@ -49,5 +53,6 @@ int main(int argc, char** argv) {
             << nranks << " processes, " << util::format_bytes(block)
             << " per process)\n";
   table.print(std::cout);
+  rep.write();
   return 0;
 }

@@ -16,6 +16,7 @@ int main(int argc, char** argv) {
   const int nranks = static_cast<int>(
       cli.get_int("ranks", tb.nodes * tb.ranks_per_node));
   const std::uint64_t mem = cli.get_bytes("mem", 16ull << 20);
+  bench::JsonReporter rep(cli, "ablation_components");
   cli.check_unused();
 
   workloads::IorConfig w;
@@ -60,6 +61,11 @@ int main(int argc, char** argv) {
     opt.mccio.remerging = v.remerge;
     opt.mccio.memory_aware = v.memory;
     const auto r = bench::run_experiment(opt, make_plan);
+    rep.add_point(v.name)
+        .set("write_mbs", r.write_bw / 1e6)
+        .set("read_mbs", r.read_bw / 1e6)
+        .set("aggregators", r.write_stats.num_aggregators())
+        .set("groups", r.write_stats.num_groups());
     table.add(v.name, util::fixed(r.write_bw / 1e6),
               util::fixed(r.read_bw / 1e6),
               r.write_stats.num_aggregators(), r.write_stats.num_groups(),
@@ -70,5 +76,6 @@ int main(int argc, char** argv) {
             << " processes, " << util::format_bytes(mem)
             << " mean memory per node)\n";
   table.print(std::cout);
+  rep.write();
   return 0;
 }

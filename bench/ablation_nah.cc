@@ -12,6 +12,7 @@ int main(int argc, char** argv) {
   tb.nodes = static_cast<int>(cli.get_int("nodes", 10));
   const int nranks = static_cast<int>(
       cli.get_int("ranks", tb.nodes * tb.ranks_per_node));
+  bench::JsonReporter rep(cli, "ablation_nah");
   cli.check_unused();
 
   workloads::IorConfig w;
@@ -40,6 +41,13 @@ int main(int argc, char** argv) {
       // gets at least Msg_ind/4.
       opt.mccio.msg_ind = 32ull << 20;
       const auto r = bench::run_experiment(opt, make_plan);
+      rep.add_point("nah=" + std::to_string(nah) + " " +
+                    util::format_bytes(mem))
+          .set("n_ah", nah)
+          .set("mem_bytes", mem)
+          .set("write_mbs", r.write_bw / 1e6)
+          .set("read_mbs", r.read_bw / 1e6)
+          .set("aggregators", r.write_stats.num_aggregators());
       table.add(nah, util::format_bytes(mem),
                 util::fixed(r.write_bw / 1e6),
                 util::fixed(r.read_bw / 1e6),
@@ -49,5 +57,6 @@ int main(int argc, char** argv) {
   std::cout << "# Ablation — aggregators per node (N_ah), IOR "
             << nranks << " processes\n";
   table.print(std::cout);
+  rep.write();
   return 0;
 }

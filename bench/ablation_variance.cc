@@ -14,6 +14,7 @@ int main(int argc, char** argv) {
   const int nranks = static_cast<int>(
       cli.get_int("ranks", tb.nodes * tb.ranks_per_node));
   const std::uint64_t mem = cli.get_bytes("mem", 16ull << 20);
+  bench::JsonReporter rep(cli, "ablation_variance");
   cli.check_unused();
 
   workloads::IorConfig w;
@@ -41,6 +42,12 @@ int main(int argc, char** argv) {
     bench::RunOptions mc = base;
     mc.driver = bench::DriverKind::kMccio;
     const auto mccio = bench::run_experiment(mc, make_plan);
+    rep.add_point("stdev=" + util::fixed(stdev, 2))
+        .set("rel_stdev", stdev)
+        .set("normal_write_mbs", normal.write_bw / 1e6)
+        .set("mccio_write_mbs", mccio.write_bw / 1e6)
+        .set("normal_read_mbs", normal.read_bw / 1e6)
+        .set("mccio_read_mbs", mccio.read_bw / 1e6);
     table.add(util::fixed(stdev, 2), util::fixed(normal.write_bw / 1e6),
               util::fixed(mccio.write_bw / 1e6),
               util::percent(mccio.write_bw / normal.write_bw - 1.0),
@@ -52,5 +59,6 @@ int main(int argc, char** argv) {
             << " processes, " << util::format_bytes(mem)
             << " mean memory per node)\n";
   table.print(std::cout);
+  rep.write();
   return 0;
 }

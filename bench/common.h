@@ -4,10 +4,16 @@
 // figure reproduction.
 #pragma once
 
+#include <sys/resource.h>
+
+#include <chrono>
 #include <cstdint>
+#include <fstream>
 #include <functional>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "core/mccio_driver.h"
 #include "core/tuner.h"
@@ -19,11 +25,89 @@
 #include "node/memory.h"
 #include "pfs/pfs.h"
 #include "util/bytes.h"
+#include "util/check.h"
+#include "util/cli.h"
+#include "util/json.h"
 #include "util/table.h"
 #include "workloads/collperf.h"
 #include "workloads/ior.h"
 
 namespace mcio::bench {
+
+/// Host wall clock in seconds (monotonic; only differences are meaningful).
+inline double wall_now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Peak resident set size of this process in bytes.
+inline std::uint64_t peak_rss_bytes() {
+  rusage ru{};
+  getrusage(RUSAGE_SELF, &ru);
+  // ru_maxrss is KiB on Linux.
+  return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
+}
+
+/// Machine-readable results behind `--json[=path]`; the bare flag writes
+/// BENCH_<name>.json in the working directory. Each figure point records
+/// whatever simulated metrics the caller sets plus the host wall-clock
+/// spent producing it and the process peak RSS — the numbers the perf
+/// harness tracks across revisions. The human-readable table output is
+/// unchanged either way.
+class JsonReporter {
+ public:
+  JsonReporter(const util::Cli& cli, std::string name)
+      : name_(std::move(name)), path_(cli.get_string("json", "")) {
+    // Bare `--json` parses as "true"; `--json=` as "". Both mean
+    // "the default file".
+    if (cli.has("json") && (path_.empty() || path_ == "true")) {
+      path_ = "BENCH_" + name_ + ".json";
+    }
+    mark_ = start_ = wall_now();
+  }
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// Records one figure point; chain .set() on the result to attach the
+  /// point's parameters and simulated metrics. The wall-clock charged to
+  /// the point covers everything since the previous add_point() (or
+  /// construction), so call it right after computing the point.
+  util::Json& add_point(std::string label) {
+    const double now = wall_now();
+    util::Json p = util::Json::object();
+    p.set("label", std::move(label));
+    p.set("wall_s", now - mark_);
+    p.set("peak_rss_bytes", peak_rss_bytes());
+    mark_ = now;
+    points_.push_back(std::move(p));
+    return points_.back();
+  }
+
+  /// Writes the document when --json was given; no-op otherwise.
+  void write() {
+    if (!enabled()) return;
+    util::Json doc = util::Json::object();
+    doc.set("schema", "mcio-bench-v1");
+    doc.set("bench", name_);
+    doc.set("wall_s", wall_now() - start_);
+    doc.set("peak_rss_bytes", peak_rss_bytes());
+    util::Json pts = util::Json::array();
+    for (util::Json& p : points_) pts.push(std::move(p));
+    doc.set("points", std::move(pts));
+    std::ofstream os(path_);
+    MCIO_CHECK_MSG(os.good(), "cannot write " << path_);
+    doc.dump(os);
+    std::cerr << "wrote " << path_ << "\n";
+  }
+
+ private:
+  std::string name_;
+  std::string path_;
+  double start_ = 0.0;
+  double mark_ = 0.0;
+  std::vector<util::Json> points_;
+};
 
 /// The simulated testbed, calibrated so the baseline two-phase anchors of
 /// Figure 8 land in the right ballpark (see EXPERIMENTS.md).

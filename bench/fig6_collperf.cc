@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   const auto dim =
       static_cast<std::uint64_t>(cli.get_int("dim", 1024));
   const double stdev = cli.get_double("mem-stdev", 0.5);
+  bench::JsonReporter rep(cli, "fig6_collperf");
   cli.check_unused();
 
   workloads::CollPerfConfig w;
@@ -54,6 +55,14 @@ int main(int argc, char** argv) {
 
     const double wr_gain = mccio.write_bw / normal.write_bw - 1.0;
     const double rd_gain = mccio.read_bw / normal.read_bw - 1.0;
+    rep.add_point(util::format_bytes(mem))
+        .set("mem_bytes", mem)
+        .set("normal_write_mbs", normal.write_bw / 1e6)
+        .set("mccio_write_mbs", mccio.write_bw / 1e6)
+        .set("normal_read_mbs", normal.read_bw / 1e6)
+        .set("mccio_read_mbs", mccio.read_bw / 1e6)
+        .set("mccio_aggregators", mccio.write_stats.num_aggregators())
+        .set("mccio_groups", mccio.write_stats.num_groups());
     wr_gain_sum += wr_gain;
     rd_gain_sum += rd_gain;
     ++count;
@@ -75,5 +84,6 @@ int main(int argc, char** argv) {
   std::cout << "average read improvement:  "
             << util::percent(rd_gain_sum / count)
             << "   (paper: +22.9%)\n";
+  rep.write();
   return 0;
 }

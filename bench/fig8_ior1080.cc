@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
   w.segments = 1;
   w.interleaved = true;
   const double stdev = cli.get_double("mem-stdev", 0.5);
+  bench::JsonReporter rep(cli, "fig8_ior1080");
   cli.check_unused();
 
   const auto make_plan = [&](int rank, int p) {
@@ -52,6 +53,14 @@ int main(int argc, char** argv) {
 
     const double wr_gain = mccio.write_bw / normal.write_bw - 1.0;
     const double rd_gain = mccio.read_bw / normal.read_bw - 1.0;
+    rep.add_point(util::format_bytes(mem))
+        .set("mem_bytes", mem)
+        .set("normal_write_mbs", normal.write_bw / 1e6)
+        .set("mccio_write_mbs", mccio.write_bw / 1e6)
+        .set("normal_read_mbs", normal.read_bw / 1e6)
+        .set("mccio_read_mbs", mccio.read_bw / 1e6)
+        .set("mccio_aggregators", mccio.write_stats.num_aggregators())
+        .set("mccio_groups", mccio.write_stats.num_groups());
     wr_gain_sum += wr_gain;
     rd_gain_sum += rd_gain;
     ++count;
@@ -81,5 +90,6 @@ int main(int argc, char** argv) {
   std::cout << "average read improvement:  "
             << util::percent(rd_gain_sum / count)
             << "   (paper: +57.8%)\n";
+  rep.write();
   return 0;
 }

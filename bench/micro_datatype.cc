@@ -2,6 +2,7 @@
 // (google-benchmark) — the per-collective metadata cost.
 #include <benchmark/benchmark.h>
 
+#include "micro_main.h"
 #include "mpi/datatype.h"
 #include "util/extent.h"
 
@@ -54,4 +55,6 @@ BENCHMARK(BM_ExtentListClip)->Arg(1024)->Arg(16384);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return mcio::bench::micro_main(argc, argv, "micro_datatype");
+}

@@ -3,6 +3,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/partition_tree.h"
+#include "micro_main.h"
 #include "util/rng.h"
 
 namespace {
@@ -52,4 +53,6 @@ BENCHMARK(BM_Remerge)->Arg(8)->Arg(64)->Arg(256);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return mcio::bench::micro_main(argc, argv, "micro_partition_tree");
+}

@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <iostream>
 
+#include "common.h"
+#include "util/cli.h"
 #include "util/table.h"
 
 namespace {
@@ -19,9 +21,13 @@ struct Row {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using mcio::util::Table;
   using mcio::util::fixed;
+
+  mcio::util::Cli cli(argc, argv);
+  mcio::bench::JsonReporter rep(cli, "table1_exascale");
+  cli.check_unused();
 
   const Row rows[] = {
       {"System Peak", 2, 1, "Pf/s", "Ef/s"},
@@ -45,6 +51,10 @@ int main() {
     char a[64], b[64];
     std::snprintf(a, sizeof(a), "%g %s", r.v2010, r.unit2010);
     std::snprintf(b, sizeof(b), "%g %s", r.v2018, r.unit2018);
+    rep.add_point(r.metric)
+        .set("v2010", r.v2010)
+        .set("v2018", r.v2018)
+        .set("factor", factors[i]);
     table.add(r.metric, a, b, fixed(factors[i++], 0));
   }
   std::cout << "# Table 1 — potential exascale design vs 2010 HPC "
@@ -67,5 +77,6 @@ int main() {
   std::cout << "2018 projected memory per core: "
             << fixed(projected / 1.0e6, 1)
             << " MB  — megabytes, as the paper notes\n";
+  rep.write();
   return 0;
 }

@@ -2,10 +2,14 @@
 // calibrated testbed and prints the values MCCIO would use: Msg_ind,
 // N_ah, Mem_min and Msg_group.
 #include "common.h"
+#include "util/cli.h"
 
 using namespace mcio;
 
-int main() {
+int main(int argc, char** argv) {
+  util::Cli cli(argc, argv);
+  bench::JsonReporter rep(cli, "tuner_probe");
+  cli.check_unused();
   bench::Testbed tb;
   tb.nodes = 10;
   core::Tuner tuner(tb.cluster(), tb.pfs());
@@ -18,5 +22,11 @@ int main() {
   table.add("Mem_min", util::format_bytes(r.mem_min));
   table.add("Msg_group", util::format_bytes(r.msg_group));
   table.print(std::cout);
+  rep.add_point("tuned")
+      .set("msg_ind_bytes", r.msg_ind)
+      .set("n_ah", r.n_ah)
+      .set("mem_min_bytes", r.mem_min)
+      .set("msg_group_bytes", r.msg_group);
+  rep.write();
   return 0;
 }

@@ -32,26 +32,25 @@ TwoPhaseExchange::PieceCursor::PieceCursor(
     const std::vector<Extent>& extents)
     : extents_(extents) {}
 
-std::vector<Piece> TwoPhaseExchange::PieceCursor::advance(
-    const Extent& window) {
+void TwoPhaseExchange::PieceCursor::advance(const Extent& window,
+                                            std::vector<Piece>* out) {
   while (idx_ < extents_.size() &&
          extents_[idx_].end() <= window.offset) {
     buf_prefix_ += extents_[idx_].len;
     ++idx_;
   }
-  std::vector<Piece> out;
+  out->clear();
   std::size_t j = idx_;
   std::uint64_t prefix = buf_prefix_;
   while (j < extents_.size() && extents_[j].offset < window.end()) {
     if (const auto x = util::intersect(extents_[j], window)) {
-      out.push_back(Piece{x->offset,
-                          prefix + (x->offset - extents_[j].offset),
-                          x->len});
+      out->push_back(Piece{x->offset,
+                           prefix + (x->offset - extents_[j].offset),
+                           x->len});
     }
     prefix += extents_[j].len;
     ++j;
   }
-  return out;
 }
 
 TwoPhaseExchange::TwoPhaseExchange(CollContext& ctx, const AccessPlan& plan,
@@ -95,18 +94,16 @@ void TwoPhaseExchange::charge_copy(int node, std::uint64_t bytes,
   actor().advance_to(done);
 }
 
-std::vector<Extent> TwoPhaseExchange::windows_of(const FileDomain& d)
-    const {
-  std::vector<Extent> out;
-  std::uint64_t pos = d.extent.offset;
+// The cb_buffer-sized windows of a domain, iterated oldest-offset first:
+//   for (Extent w; next_window(d, &w);) { ... }
+// where `w` must start zero-initialized. Kept as a plain advancing
+// function so window iteration allocates nothing.
+static bool next_window(const FileDomain& d, Extent* w) {
+  const std::uint64_t pos = w->len == 0 ? d.extent.offset : w->end();
   const std::uint64_t end = d.extent.end();
-  while (pos < end) {
-    const std::uint64_t n = std::min<std::uint64_t>(d.buffer_bytes,
-                                                    end - pos);
-    out.push_back(Extent{pos, n});
-    pos += n;
-  }
-  return out;
+  if (pos >= end) return false;
+  *w = Extent{pos, std::min<std::uint64_t>(d.buffer_bytes, end - pos)};
+  return true;
 }
 
 void TwoPhaseExchange::send_extent_lists() {
@@ -124,37 +121,90 @@ void TwoPhaseExchange::send_extent_lists() {
 }
 
 void TwoPhaseExchange::recv_extent_lists() {
+  // Expected extent-list blobs in the canonical (domain, source) order the
+  // historical rank-ordered drain received them in. Senders emit their
+  // client domains in ascending order, so per-source FIFO attributes the
+  // k-th blob from a source to that source's k-th domain of ours.
+  struct Expected {
+    DomainWork* work;
+    int source;
+  };
+  std::vector<Expected> expected;
   for (DomainWork& work : owned_) {
     const FileDomain& d =
         xplan_.domains[static_cast<std::size_t>(work.index)];
     for (int s = 0; s < ctx_.comm->size(); ++s) {
       const Extent b = xplan_.rank_bounds[static_cast<std::size_t>(s)];
       if (b.empty() || !util::intersect(b, d.extent)) continue;
-      const auto blob = ctx_.comm->recv_blob(s, tag_lists_);
-      MCIO_CHECK_EQ(blob.size() % sizeof(Extent), 0u);
-      std::vector<Extent> runs(blob.size() / sizeof(Extent));
-      if (!runs.empty()) {
-        std::memcpy(runs.data(), blob.data(), blob.size());
-      }
-      ExtentList list = ExtentList::normalize(std::move(runs));
-      if (!list.empty()) work.per_source.emplace(s, std::move(list));
+      expected.push_back(Expected{&work, s});
+    }
+  }
+  if (expected.empty()) return;
+
+  // Drain in arrival order with wildcard-source receives (no head-of-line
+  // blocking on slow ranks), deferring the virtual-time charges...
+  std::vector<mpi::FramedBlob> blobs;
+  blobs.reserve(expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    blobs.push_back(ctx_.comm->recv_blob_deferred(mpi::kAnySource,
+                                                  tag_lists_));
+  }
+
+  // Group blob indices by source, preserving arrival order within each
+  // source (a counting sort): order[start[s] .. start[s+1]) are source
+  // s's blobs, oldest first.
+  const auto nsrc = static_cast<std::size_t>(ctx_.comm->size());
+  std::vector<std::uint32_t> start(nsrc + 1, 0);
+  for (const mpi::FramedBlob& b : blobs) {
+    MCIO_CHECK_GE(b.source, 0);
+    MCIO_CHECK_LT(static_cast<std::size_t>(b.source), nsrc);
+    ++start[static_cast<std::size_t>(b.source) + 1];
+  }
+  for (std::size_t s = 0; s < nsrc; ++s) start[s + 1] += start[s];
+  std::vector<std::uint32_t> order(blobs.size());
+  std::vector<std::uint32_t> head = start;
+  for (std::uint32_t i = 0; i < blobs.size(); ++i) {
+    order[head[static_cast<std::size_t>(blobs[i].source)]++] = i;
+  }
+  head.assign(start.begin(), start.end() - 1);
+
+  // ...then replay the charges in the canonical order, so the simulated
+  // clock is bit-identical to the rank-ordered blocking exchange.
+  for (const Expected& e : expected) {
+    const auto s = static_cast<std::size_t>(e.source);
+    MCIO_CHECK_MSG(head[s] < start[s + 1],
+                   "missing extent list from rank " << e.source);
+    mpi::FramedBlob b = std::move(blobs[order[head[s]++]]);
+    ctx_.comm->charge_blob(b);
+    MCIO_CHECK_EQ(b.bytes.size() % sizeof(Extent), 0u);
+    std::vector<Extent> runs(b.bytes.size() / sizeof(Extent));
+    if (!runs.empty()) {
+      std::memcpy(runs.data(), b.bytes.data(), b.bytes.size());
+    }
+    ExtentList list = ExtentList::normalize(std::move(runs));
+    if (!list.empty()) {
+      // Sources are visited in ascending order per domain, so appending
+      // keeps per_source sorted.
+      e.work->per_source.emplace_back(e.source, std::move(list));
     }
   }
 }
 
 void TwoPhaseExchange::client_send_data() {
   PieceCursor cursor(plan_.extents);
+  std::vector<std::byte> tmp;   // pack staging, reused across windows
+  std::vector<Piece> pieces;    // window pieces, reused across windows
   for (const int di : client_domains_) {
     const FileDomain& d = xplan_.domains[static_cast<std::size_t>(di)];
-    for (const Extent& w : windows_of(d)) {
-      const auto pieces = cursor.advance(w);
+    for (Extent w{}; next_window(d, &w);) {
+      cursor.advance(w, &pieces);
       if (pieces.empty()) continue;
       std::uint64_t total = 0;
       for (const Piece& p : pieces) total += p.len;
       // Packing cost (skipped when the data is already one run).
       if (pieces.size() > 1) charge_copy(my_node(), total, 1.0);
       if (xplan_.real_data) {
-        std::vector<std::byte> tmp(total);
+        tmp.resize(total);
         std::uint64_t off = 0;
         for (const Piece& p : pieces) {
           std::memcpy(tmp.data() + off, plan_.buffer.data + p.buf_offset,
@@ -172,6 +222,14 @@ void TwoPhaseExchange::client_send_data() {
 }
 
 void TwoPhaseExchange::aggregator_write() {
+  // Scratch reused across windows and domains: receive staging buffers,
+  // request/size lists, the window cover and the per-source clip lists.
+  std::vector<SourceSweep> sweeps;
+  std::vector<std::size_t> active;
+  std::vector<mpi::Request> reqs;
+  std::vector<std::vector<std::byte>> pool;
+  std::vector<std::uint64_t> sizes;
+  ExtentList cover;
   for (DomainWork& work : owned_) {
     const FileDomain& d =
         xplan_.domains[static_cast<std::size_t>(work.index)];
@@ -190,14 +248,18 @@ void TwoPhaseExchange::aggregator_write() {
     if (xplan_.real_data) {
       cb.resize(std::min<std::uint64_t>(d.buffer_bytes, d.extent.len));
     }
-    for (const Extent& w : windows_of(d)) {
-      ExtentList cover;
-      std::vector<std::pair<int, ExtentList>> srcs;
-      for (const auto& [s, list] : work.per_source) {
-        ExtentList c = list.clipped(w);
-        if (c.empty()) continue;
-        cover.merge(c);
-        srcs.emplace_back(s, std::move(c));
+    sweeps.clear();
+    for (const auto& [s, list] : work.per_source) {
+      sweeps.push_back(SourceSweep{s, util::ExtentCursor(list), {}});
+    }
+    for (Extent w{}; next_window(d, &w);) {
+      cover.clear();
+      active.clear();
+      for (std::size_t i = 0; i < sweeps.size(); ++i) {
+        sweeps[i].cursor.clipped_into(w, &sweeps[i].clip);
+        if (sweeps[i].clip.empty()) continue;
+        cover.merge(sweeps[i].clip);
+        active.push_back(i);
       }
       if (cover.empty()) continue;
       ++rec.rounds;
@@ -206,22 +268,21 @@ void TwoPhaseExchange::aggregator_write() {
 
       // Post all receives for this window, then (if the window has holes
       // and sieving is on) pre-read the span — ROMIO's read-modify-write.
-      std::vector<mpi::Request> reqs;
-      std::vector<std::vector<std::byte>> tmps;
-      std::vector<std::uint64_t> sizes;
-      reqs.reserve(srcs.size());
-      tmps.reserve(srcs.size());
-      sizes.reserve(srcs.size());
-      for (const auto& [s, c] : srcs) {
-        const std::uint64_t n = c.total_bytes();
+      reqs.clear();
+      sizes.clear();
+      if (pool.size() < active.size()) pool.resize(active.size());
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        const SourceSweep& sw = sweeps[active[i]];
+        const std::uint64_t n = sw.clip.total_bytes();
         sizes.push_back(n);
         if (xplan_.real_data) {
-          tmps.emplace_back(n);
-          reqs.push_back(ctx_.comm->irecv(s, tag_data_base_ + work.index,
-                                          Payload::of(tmps.back())));
+          pool[i].resize(n);
+          reqs.push_back(ctx_.comm->irecv(sw.source,
+                                          tag_data_base_ + work.index,
+                                          Payload::of(pool[i])));
         } else {
-          tmps.emplace_back();
-          reqs.push_back(ctx_.comm->irecv(s, tag_data_base_ + work.index,
+          reqs.push_back(ctx_.comm->irecv(sw.source,
+                                          tag_data_base_ + work.index,
                                           Payload::virtual_bytes(n)));
         }
       }
@@ -238,21 +299,21 @@ void TwoPhaseExchange::aggregator_write() {
       ctx_.comm->waitall(reqs);
 
       // Overlay received pieces into the collective buffer.
-      for (std::size_t i = 0; i < srcs.size(); ++i) {
-        const auto& [s, c] = srcs[i];
+      for (std::size_t i = 0; i < active.size(); ++i) {
+        const SourceSweep& sw = sweeps[active[i]];
         charge_copy(my_node(), sizes[i], lease.bw_scale());
         if (xplan_.real_data) {
           std::uint64_t off = 0;
-          for (const Extent& run : c.runs()) {
+          for (const Extent& run : sw.clip.runs()) {
             std::memcpy(cb.data() + (run.offset - w.offset),
-                        tmps[i].data() + off, run.len);
+                        pool[i].data() + off, run.len);
             off += run.len;
           }
         }
         rec.bytes_received += sizes[i];
         if (ctx_.stats != nullptr) {
-          ctx_.stats->record_shuffle(ctx_.comm->node_of(s), my_node(),
-                                     sizes[i]);
+          ctx_.stats->record_shuffle(ctx_.comm->node_of(sw.source),
+                                     my_node(), sizes[i]);
         }
       }
 
@@ -284,6 +345,9 @@ void TwoPhaseExchange::aggregator_write() {
 }
 
 void TwoPhaseExchange::aggregator_read() {
+  std::vector<SourceSweep> sweeps;
+  ExtentList cover;
+  std::vector<std::byte> tmp;  // pack staging, reused across sends
   for (DomainWork& work : owned_) {
     const FileDomain& d =
         xplan_.domains[static_cast<std::size_t>(work.index)];
@@ -302,16 +366,20 @@ void TwoPhaseExchange::aggregator_read() {
     if (xplan_.real_data) {
       cb.resize(std::min<std::uint64_t>(d.buffer_bytes, d.extent.len));
     }
-    for (const Extent& w : windows_of(d)) {
-      ExtentList cover;
-      std::vector<std::pair<int, ExtentList>> srcs;
-      for (const auto& [s, list] : work.per_source) {
-        ExtentList c = list.clipped(w);
-        if (c.empty()) continue;
-        cover.merge(c);
-        srcs.emplace_back(s, std::move(c));
+    sweeps.clear();
+    for (const auto& [s, list] : work.per_source) {
+      sweeps.push_back(SourceSweep{s, util::ExtentCursor(list), {}});
+    }
+    for (Extent w{}; next_window(d, &w);) {
+      cover.clear();
+      bool any = false;
+      for (SourceSweep& sw : sweeps) {
+        sw.cursor.clipped_into(w, &sw.clip);
+        if (sw.clip.empty()) continue;
+        cover.merge(sw.clip);
+        any = true;
       }
-      if (cover.empty()) continue;
+      if (!any) continue;
       ++rec.rounds;
       // Data-sieving read: one contiguous read covering the span.
       const Extent span = cover.bounds();
@@ -324,26 +392,28 @@ void TwoPhaseExchange::aggregator_read() {
       rec.io_bytes += span.len;
       if (ctx_.stats != nullptr) ctx_.stats->record_io(span.len);
 
-      for (const auto& [s, c] : srcs) {
-        const std::uint64_t n = c.total_bytes();
+      for (const SourceSweep& sw : sweeps) {
+        if (sw.clip.empty()) continue;
+        const std::uint64_t n = sw.clip.total_bytes();
         charge_copy(my_node(), n, lease.bw_scale());  // pack
         if (xplan_.real_data) {
-          std::vector<std::byte> tmp(n);
+          tmp.resize(n);
           std::uint64_t off = 0;
-          for (const Extent& run : c.runs()) {
+          for (const Extent& run : sw.clip.runs()) {
             std::memcpy(tmp.data() + off,
                         cb.data() + (run.offset - w.offset), run.len);
             off += run.len;
           }
-          ctx_.comm->send(s, tag_data_base_ + work.index,
+          ctx_.comm->send(sw.source, tag_data_base_ + work.index,
                           ConstPayload::of(tmp));
         } else {
-          ctx_.comm->send(s, tag_data_base_ + work.index,
+          ctx_.comm->send(sw.source, tag_data_base_ + work.index,
                           ConstPayload::virtual_bytes(n));
         }
         rec.bytes_sent += n;
         if (ctx_.stats != nullptr) {
-          ctx_.stats->record_shuffle(my_node(), ctx_.comm->node_of(s), n);
+          ctx_.stats->record_shuffle(my_node(),
+                                     ctx_.comm->node_of(sw.source), n);
         }
       }
     }
@@ -354,15 +424,17 @@ void TwoPhaseExchange::aggregator_read() {
 
 void TwoPhaseExchange::client_recv_data() {
   PieceCursor cursor(plan_.extents);
+  std::vector<std::byte> tmp;   // scatter staging, reused across windows
+  std::vector<Piece> pieces;    // window pieces, reused across windows
   for (const int di : client_domains_) {
     const FileDomain& d = xplan_.domains[static_cast<std::size_t>(di)];
-    for (const Extent& w : windows_of(d)) {
-      const auto pieces = cursor.advance(w);
+    for (Extent w{}; next_window(d, &w);) {
+      cursor.advance(w, &pieces);
       if (pieces.empty()) continue;
       std::uint64_t total = 0;
       for (const Piece& p : pieces) total += p.len;
       if (xplan_.real_data) {
-        std::vector<std::byte> tmp(total);
+        tmp.resize(total);
         ctx_.comm->recv(d.aggregator, tag_data_base_ + di,
                         Payload::of(tmp));
         std::uint64_t off = 0;

@@ -13,7 +13,7 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
+#include <utility>
 #include <vector>
 
 #include "io/driver.h"
@@ -63,8 +63,9 @@ class TwoPhaseExchange {
   class PieceCursor {
    public:
     explicit PieceCursor(const std::vector<util::Extent>& extents);
-    /// Pieces of the plan inside `window` with packed buffer offsets.
-    std::vector<util::Piece> advance(const util::Extent& window);
+    /// Pieces of the plan inside `window` with packed buffer offsets,
+    /// replacing `out`'s contents (caller-owned scratch).
+    void advance(const util::Extent& window, std::vector<util::Piece>* out);
 
    private:
     const std::vector<util::Extent>& extents_;
@@ -74,8 +75,18 @@ class TwoPhaseExchange {
 
   struct DomainWork {
     int index = -1;  ///< index into xplan_.domains
-    /// Per-source clipped extent lists (aggregator side).
-    std::map<int, util::ExtentList> per_source;
+    /// Per-source clipped extent lists, ascending by source (aggregator
+    /// side).
+    std::vector<std::pair<int, util::ExtentList>> per_source;
+  };
+
+  /// Aggregator-side sweep state for one source: a monotone cursor over
+  /// the source's extent list (windows ascend within a domain) and a
+  /// reusable clip scratch, replacing a full clipped() rescan per window.
+  struct SourceSweep {
+    int source = -1;
+    util::ExtentCursor cursor;
+    util::ExtentList clip;
   };
 
   // Phase helpers.
@@ -85,9 +96,6 @@ class TwoPhaseExchange {
   void aggregator_write();
   void aggregator_read();
   void client_recv_data();
-
-  /// Windows of a domain in increasing order.
-  std::vector<util::Extent> windows_of(const FileDomain& d) const;
 
   int my_rank() const;
   int my_node() const;

@@ -21,12 +21,6 @@ Comm::Comm(Machine* machine, Rank* owner,
                 owner_->rank());
 }
 
-int Comm::world_rank(int crank) const {
-  MCIO_CHECK_GE(crank, 0);
-  MCIO_CHECK_LT(crank, size());
-  return (*members_)[static_cast<std::size_t>(crank)];
-}
-
 int Comm::node_of(int crank) const {
   return machine_->cluster().node_of_rank(world_rank(crank));
 }
@@ -43,6 +37,18 @@ int Comm::next_coll_tag() {
 
 int Comm::reserve_tags(int n) {
   MCIO_CHECK_GT(n, 0);
+  constexpr std::uint64_t kTagSpace = 1ull << 28;
+  MCIO_CHECK_MSG(static_cast<std::uint64_t>(n) <= kTagSpace,
+                 "cannot reserve " << n << " tags from a " << kTagSpace
+                                   << "-tag collective space");
+  // A block must stay contiguous inside the 28-bit collective-tag window:
+  // wrapping mid-block would alias tags still live in an earlier range
+  // (seen at high file-domain counts). Skip to the next window instead.
+  // Deterministic, so every rank skips identically.
+  const std::uint64_t used = coll_seq_ & (kTagSpace - 1);
+  if (used + static_cast<std::uint64_t>(n) > kTagSpace) {
+    coll_seq_ += kTagSpace - used;
+  }
   const int base = next_coll_tag();
   coll_seq_ += static_cast<std::uint64_t>(n - 1);
   return base;
@@ -76,31 +82,17 @@ Request Comm::isend(int dst, int tag, util::ConstPayload data) {
 Request Comm::irecv(int src, int tag, util::Payload buf) {
   sim::Actor& actor = owner_->actor();
   actor.sync();
-  auto slot = std::make_shared<RecvSlot>();
+  Endpoint& ep = my_endpoint();
+  auto slot = ep.acquire_slot();
   slot->comm_id = comm_id_;
   slot->src = src;
   slot->tag = tag;
   slot->buf = buf;
-  Endpoint& ep = my_endpoint();
-  for (auto it = ep.unexpected.begin(); it != ep.unexpected.end(); ++it) {
-    if (!slot->matches(*it)) continue;
-    Envelope env = std::move(*it);
-    ep.unexpected.erase(it);
-    MCIO_CHECK_MSG(env.body.size() <= slot->buf.size,
-                   "message (" << env.body.size()
-                               << " B) overflows receive buffer ("
-                               << slot->buf.size << " B)");
-    MCIO_CHECK_MSG(!(slot->buf.data != nullptr && env.body.is_virtual()),
-                   "virtual message delivered into a real buffer");
-    if (env.body.size() > 0) {
-      util::copy_payload(slot->buf.slice(0, env.body.size()),
-                         env.body.view());
-    }
-    slot->status = Status{env.src, env.tag, env.body.size(), env.arrival};
-    slot->done = true;
-    break;
+  if (auto env = ep.take_unexpected(comm_id_, src, tag)) {
+    fulfill(*slot, std::move(*env));
+  } else {
+    ep.post(slot);
   }
-  if (!slot->done) ep.posted.push_back(slot);
   Request r;
   r.slot_ = std::move(slot);
   return r;
@@ -127,6 +119,7 @@ void Comm::wait(Request& request, Status* status) {
   actor.advance_to(request.slot_->status.arrival);
   actor.advance(machine_->config().recv_overhead);
   if (status != nullptr) *status = request.slot_->status;
+  ep.release_slot(std::move(request.slot_));
   request.slot_.reset();
 }
 
@@ -142,31 +135,86 @@ bool Comm::test(const Request& request) const {
 }
 
 void Comm::send_blob(int dst, int tag, std::span<const std::byte> blob) {
+  sim::Actor& actor = owner_->actor();
+  const int wdst = world_rank(dst);
   const std::uint64_t size = blob.size();
-  send(dst, tag,
-       util::ConstPayload::real(reinterpret_cast<const std::byte*>(&size),
-                                sizeof(size)));
+  // Charge both transport passes of the historical two-message protocol
+  // (size header, then body) so the simulated clock and resource state
+  // are bit-identical; deliver the result as a single framed envelope.
+  actor.sync();
+  const sim::SimTime header_arrival = machine_->transfer(
+      node_of(rank()), node_of(dst), sizeof(size), actor.now());
+  actor.advance(machine_->config().send_overhead);
+  sim::SimTime arrival = header_arrival;
   if (size > 0) {
-    send(dst, tag, util::ConstPayload::real(blob.data(), size));
+    actor.sync();
+    arrival = machine_->transfer(node_of(rank()), node_of(dst), size,
+                                 actor.now());
+    actor.advance(machine_->config().send_overhead);
   }
+  Envelope env;
+  env.comm_id = comm_id_;
+  env.src = rank();
+  env.tag = tag;
+  env.body = util::OwnedPayload(
+      util::ConstPayload::real(size > 0 ? blob.data() : nullptr, size));
+  env.framed = true;
+  env.header_arrival = header_arrival;
+  env.arrival = arrival;
+  machine_->deliver(wdst, std::move(env));
+}
+
+FramedBlob Comm::recv_blob_deferred(int src, int tag) {
+  sim::Actor& actor = owner_->actor();
+  actor.sync();
+  Endpoint& ep = my_endpoint();
+  auto slot = ep.acquire_slot();
+  slot->comm_id = comm_id_;
+  slot->src = src;
+  slot->tag = tag;
+  slot->buf = util::Payload{};
+  slot->take = true;
+  if (auto env = ep.take_unexpected(comm_id_, src, tag)) {
+    fulfill(*slot, std::move(*env));
+  } else {
+    ep.post(slot);
+    while (!slot->done) {
+      ++ep.waiting;
+      actor.park();
+      --ep.waiting;
+    }
+  }
+  Envelope& env = slot->taken;
+  FramedBlob out;
+  out.source = env.src;
+  out.tag = env.tag;
+  out.header_arrival = env.header_arrival;
+  out.arrival = env.arrival;
+  out.bytes = env.body.release();
+  ep.release_slot(std::move(slot));
+  return out;
+}
+
+void Comm::charge_blob(const FramedBlob& b, Status* status) {
+  sim::Actor& actor = owner_->actor();
+  // Replay of the two-message receive: header charge, then body charge
+  // when the blob is non-empty (an empty blob was header-only).
+  actor.advance_to(b.header_arrival);
+  actor.advance(machine_->config().recv_overhead);
+  Status st{b.source, b.tag, sizeof(std::uint64_t), b.header_arrival};
+  if (!b.bytes.empty()) {
+    actor.advance_to(b.arrival);
+    actor.advance(machine_->config().recv_overhead);
+    st.arrival = b.arrival;
+    st.bytes = b.bytes.size();
+  }
+  if (status != nullptr) *status = st;
 }
 
 std::vector<std::byte> Comm::recv_blob(int src, int tag, Status* status) {
-  std::uint64_t size = 0;
-  Status header;
-  recv(src, tag,
-       util::Payload::real(reinterpret_cast<std::byte*>(&size),
-                           sizeof(size)),
-       &header);
-  std::vector<std::byte> blob(size);
-  if (size > 0) {
-    Status body;
-    recv(header.source, tag, util::Payload::of(blob), &body);
-    header.arrival = body.arrival;
-    header.bytes = size;
-  }
-  if (status != nullptr) *status = header;
-  return blob;
+  FramedBlob b = recv_blob_deferred(src, tag);
+  charge_blob(b, status);
+  return std::move(b.bytes);
 }
 
 Comm Comm::split(int color, int key) {

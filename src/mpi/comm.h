@@ -32,13 +32,28 @@ class Request {
   bool send_ = false;
 };
 
+/// A received variable-size blob plus the virtual arrival times of its
+/// size header and body, so the receive cost can be charged later (and in
+/// a different order than the blobs were drained in).
+struct FramedBlob {
+  int source = kAnySource;  ///< rank within the communicator
+  int tag = 0;
+  std::vector<std::byte> bytes;
+  sim::SimTime header_arrival = 0.0;
+  sim::SimTime arrival = 0.0;  ///< body arrival (== header for empty blobs)
+};
+
 class Comm {
  public:
   int rank() const { return my_index_; }
   int size() const { return static_cast<int>(members_->size()); }
 
   /// World rank of a rank in this communicator.
-  int world_rank(int crank) const;
+  int world_rank(int crank) const {
+    MCIO_CHECK_GE(crank, 0);
+    MCIO_CHECK_LT(crank, size());
+    return (*members_)[static_cast<std::size_t>(crank)];
+  }
   /// Physical node hosting a rank of this communicator.
   int node_of(int crank) const;
 
@@ -52,13 +67,21 @@ class Comm {
   /// True when the request has completed (non-blocking poll).
   bool test(const Request& request) const;
 
-  /// Sends a variable-size byte blob (two-message protocol: size header
-  /// then body on the same tag; per-(src,tag) FIFO keeps them paired).
+  /// Sends a variable-size byte blob as one framed message. The virtual
+  /// time charged is identical to the historical two-message protocol
+  /// (8-byte size header then body on the same tag): both transport
+  /// passes still run, but only one envelope is delivered and matched.
   void send_blob(int dst, int tag, std::span<const std::byte> blob);
-  /// Receives a blob of unknown size. With kAnySource, the body is read
-  /// from whichever source supplied the header.
+  /// Receives a blob of unknown size (kAnySource allowed).
   std::vector<std::byte> recv_blob(int src, int tag,
                                    Status* status = nullptr);
+  /// Matches the next framed blob *without* advancing virtual time; pair
+  /// with charge_blob(). Lets a drain loop collect blobs in arrival order
+  /// yet charge their receive cost in a canonical order, keeping the
+  /// simulated clock independent of arrival interleaving.
+  FramedBlob recv_blob_deferred(int src, int tag);
+  /// Replays the virtual-time cost of receiving `b` (header then body).
+  void charge_blob(const FramedBlob& b, Status* status = nullptr);
 
   // --- collectives (must be called by every rank of the communicator in
   //     the same order) ---
@@ -110,10 +133,22 @@ class Comm {
   int next_coll_tag();
   Endpoint& my_endpoint();
 
-  // Tree helpers for collectives.
-  void tree_gather(int tag, int root,
-                   std::vector<std::vector<std::byte>>& per_rank);
+  // Tree helpers for collectives. Gathers move one flat wire bundle
+  // (u64 count, then per item u64 rank, u64 len, raw bytes) up a binomial
+  // tree; parse_wire scatters a bundle of fixed-size items into a dense
+  // per-rank array.
+  std::vector<std::byte> tree_gather_wire(int tag, int root,
+                                          std::span<const std::byte> mine);
   void tree_bcast_blob(int tag, int root, std::vector<std::byte>& blob);
+  std::vector<std::byte> allgather_wire(std::span<const std::byte> mine);
+  void parse_wire(const std::vector<std::byte>& wire, std::uint64_t elem_size,
+                  std::byte* out);
+  /// Allgather where every rank contributes exactly mine.size() bytes;
+  /// writes size() contributions into `out`, indexed by rank.
+  void allgather_fixed(std::span<const std::byte> mine, std::byte* out);
+  /// Fixed-size gather; `out` is written at root only.
+  void gather_fixed(std::span<const std::byte> mine, int root,
+                    std::byte* out);
 
   Machine* machine_;
   Rank* owner_;
@@ -129,12 +164,9 @@ template <typename T>
 std::vector<T> Comm::allgather(const T& v) {
   static_assert(std::is_trivially_copyable_v<T>);
   const auto* p = reinterpret_cast<const std::byte*>(&v);
-  auto blobs = allgather_blobs(std::span<const std::byte>(p, sizeof(T)));
-  std::vector<T> out(blobs.size());
-  for (std::size_t i = 0; i < blobs.size(); ++i) {
-    MCIO_CHECK_EQ(blobs[i].size(), sizeof(T));
-    std::memcpy(&out[i], blobs[i].data(), sizeof(T));
-  }
+  std::vector<T> out(static_cast<std::size_t>(size()));
+  allgather_fixed(std::span<const std::byte>(p, sizeof(T)),
+                  reinterpret_cast<std::byte*>(out.data()));
   return out;
 }
 
@@ -142,15 +174,10 @@ template <typename T>
 std::vector<T> Comm::gather(const T& v, int root) {
   static_assert(std::is_trivially_copyable_v<T>);
   const auto* p = reinterpret_cast<const std::byte*>(&v);
-  auto blobs = gather_blobs(std::span<const std::byte>(p, sizeof(T)), root);
   std::vector<T> out;
-  if (rank() == root) {
-    out.resize(blobs.size());
-    for (std::size_t i = 0; i < blobs.size(); ++i) {
-      MCIO_CHECK_EQ(blobs[i].size(), sizeof(T));
-      std::memcpy(&out[i], blobs[i].data(), sizeof(T));
-    }
-  }
+  if (rank() == root) out.resize(static_cast<std::size_t>(size()));
+  gather_fixed(std::span<const std::byte>(p, sizeof(T)), root,
+               reinterpret_cast<std::byte*>(out.data()));
   return out;
 }
 

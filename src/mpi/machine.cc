@@ -52,29 +52,15 @@ sim::SimTime Machine::transfer(int src_node, int dst_node,
 
 void Machine::deliver(int world_dst, Envelope env) {
   Endpoint& ep = endpoint(world_dst);
-  for (auto it = ep.posted.begin(); it != ep.posted.end(); ++it) {
-    RecvSlot& slot = **it;
-    if (!slot.matches(env)) continue;
-    MCIO_CHECK_MSG(env.body.size() <= slot.buf.size,
-                   "message (" << env.body.size()
-                               << " B) overflows receive buffer ("
-                               << slot.buf.size << " B)");
-    MCIO_CHECK_MSG(!(slot.buf.data != nullptr && env.body.is_virtual()),
-                   "virtual message delivered into a real buffer");
-    if (env.body.size() > 0) {
-      util::copy_payload(slot.buf.slice(0, env.body.size()),
-                         env.body.view());
-    }
-    slot.status = Status{env.src, env.tag, env.body.size(), env.arrival};
-    slot.done = true;
-    ep.posted.erase(it);
+  if (const std::shared_ptr<RecvSlot> slot = ep.match_posted(env)) {
+    fulfill(*slot, std::move(env));
     if (ep.waiting > 0 && engine_ != nullptr &&
         engine_->is_parked(world_dst)) {
       engine_->unpark(world_dst, 0.0);
     }
     return;
   }
-  ep.unexpected.push_back(std::move(env));
+  ep.push_unexpected(std::move(env));
 }
 
 Endpoint& Machine::endpoint(int world_rank) {

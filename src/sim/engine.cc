@@ -64,13 +64,13 @@ void Engine::run() {
         options_.stack_bytes,
         [this, id, body = std::move(body)] { body_wrapper(id, body); },
         &main_ctx_);
-    ready_.insert({0.0, id});
+    ready_.push({0.0, id});
   }
   pending_bodies_.clear();
 
   while (!ready_.empty()) {
-    const auto [t, id] = *ready_.begin();
-    ready_.erase(ready_.begin());
+    const auto [t, id] = ready_.top();
+    ready_.pop();
     auto& slot = actors_[static_cast<std::size_t>(id)];
     slot.state = State::kRunning;
     slot.fiber->resume_from(&main_ctx_);
@@ -116,7 +116,7 @@ void Engine::yield_from(int id) {
 void Engine::make_ready(int id) {
   auto& slot = actors_[static_cast<std::size_t>(id)];
   slot.state = State::kReady;
-  ready_.insert({slot.actor->now(), id});
+  ready_.push({slot.actor->now(), id});
 }
 
 }  // namespace mcio::sim

@@ -11,7 +11,7 @@
 #include <exception>
 #include <functional>
 #include <memory>
-#include <set>
+#include <queue>
 #include <vector>
 
 #include "sim/fiber.h"
@@ -108,9 +108,15 @@ class Engine {
   Options options_;
   std::vector<ActorSlot> actors_;
   std::vector<std::function<void(Actor&)>> pending_bodies_;
-  // Ready set ordered by (clock, id): deterministic global order.
-  std::set<std::pair<SimTime, int>> ready_;
-  ucontext_t main_ctx_{};
+  // Ready actors, popped in (clock, id) order: deterministic global
+  // order. Each actor appears at most once, so a binary min-heap picks
+  // the same element an ordered set would, without a node allocation
+  // per insert.
+  std::priority_queue<std::pair<SimTime, int>,
+                      std::vector<std::pair<SimTime, int>>,
+                      std::greater<>>
+      ready_;
+  FiberContext main_ctx_{};
   std::exception_ptr error_;
   std::vector<SimTime> finish_times_;
   bool running_ = false;

@@ -1,8 +1,77 @@
 #include "sim/fiber.h"
 
 #include <cstdint>
+#include <cstring>
 
 #include "util/check.h"
+
+#if defined(MCIO_FIBER_FAST_SWITCH)
+
+extern "C" {
+void mcio_fiber_switch(void** save_sp, void* target_sp);
+void mcio_fiber_entry();
+}
+
+namespace mcio::sim {
+
+// Called from the asm entry thunk on a fiber's first activation.
+void run_fiber_trampoline(Fiber* self) {
+  self->body_();
+  // The body returned normally: hand control back to the link context.
+  // The scheduler never resumes a finished fiber, so this does not return.
+  mcio_fiber_switch(&self->ctx_, *self->link_);
+  MCIO_CHECK_MSG(false, "finished fiber resumed");
+}
+
+}  // namespace mcio::sim
+
+extern "C" void mcio_fiber_trampoline(void* self) {
+  mcio::sim::run_fiber_trampoline(static_cast<mcio::sim::Fiber*>(self));
+}
+
+namespace mcio::sim {
+
+Fiber::Fiber(std::size_t stack_bytes, std::function<void()> body,
+             FiberContext* link)
+    : stack_(new char[stack_bytes]), link_(link), body_(std::move(body)) {
+  MCIO_CHECK_GE(stack_bytes, 16u * 1024u);
+  // Build the frame mcio_fiber_switch expects to unwind, so the first
+  // resume "returns" into the entry thunk with r12 = this. Layout below
+  // `top` (16-byte aligned), one 8-byte slot each:
+  //   -8  dead slot (keeps the thunk's stack call-convention aligned)
+  //   -16 return address = mcio_fiber_entry
+  //   -24 rbp   -32 rbx   -40 r12 = this
+  //   -48 r13   -56 r14   -64 r15
+  //   -72 MXCSR (4 bytes) + x87 control word (2 bytes)
+  char* top = stack_.get() + stack_bytes;
+  top -= reinterpret_cast<std::uintptr_t>(top) % 16;
+  auto put = [top](int offset, std::uint64_t v) {
+    std::memcpy(top - offset, &v, sizeof(v));
+  };
+  std::uint32_t mxcsr = 0;
+  std::uint16_t fcw = 0;
+  asm volatile("stmxcsr %0\n\tfnstcw %1" : "=m"(mxcsr), "=m"(fcw));
+  put(8, 0);
+  put(16, reinterpret_cast<std::uint64_t>(&mcio_fiber_entry));
+  put(24, 0);
+  put(32, 0);
+  put(40, reinterpret_cast<std::uint64_t>(this));
+  put(48, 0);
+  put(56, 0);
+  put(64, 0);
+  put(72, mxcsr | (static_cast<std::uint64_t>(fcw) << 32));
+  ctx_ = top - 72;
+}
+
+void Fiber::resume_from(FiberContext* from) {
+  mcio_fiber_switch(from, ctx_);
+}
+
+void Fiber::yield_to(FiberContext* to) { mcio_fiber_switch(&ctx_, *to); }
+
+}  // namespace mcio::sim
+
+#else  // portable ucontext fallback
 
 namespace mcio::sim {
 
@@ -15,8 +84,8 @@ void Fiber::trampoline(unsigned hi, unsigned lo) {
 }
 
 Fiber::Fiber(std::size_t stack_bytes, std::function<void()> body,
-             ucontext_t* link)
-    : stack_(new char[stack_bytes]), body_(std::move(body)) {
+             FiberContext* link)
+    : stack_(new char[stack_bytes]), link_(link), body_(std::move(body)) {
   MCIO_CHECK_GE(stack_bytes, 16u * 1024u);
   MCIO_CHECK_EQ(getcontext(&ctx_), 0);
   ctx_.uc_stack.ss_sp = stack_.get();
@@ -28,12 +97,14 @@ Fiber::Fiber(std::size_t stack_bytes, std::function<void()> body,
               static_cast<unsigned>(ptr & 0xffffffffu));
 }
 
-void Fiber::resume_from(ucontext_t* from) {
+void Fiber::resume_from(FiberContext* from) {
   MCIO_CHECK_EQ(swapcontext(from, &ctx_), 0);
 }
 
-void Fiber::yield_to(ucontext_t* to) {
+void Fiber::yield_to(FiberContext* to) {
   MCIO_CHECK_EQ(swapcontext(&ctx_, to), 0);
 }
 
 }  // namespace mcio::sim
+
+#endif  // MCIO_FIBER_FAST_SWITCH

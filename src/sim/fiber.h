@@ -1,39 +1,70 @@
-// Cooperative fibers via ucontext.
+// Cooperative fibers.
 //
 // The simulator runs every MPI rank as a fiber on one OS thread, switching
 // between them in virtual-time order. Single-threaded execution is what
 // makes runs bit-for-bit reproducible.
+//
+// On x86-64 the switch is a handful of register moves in assembly
+// (fiber_switch_x86_64.S); ucontext's swapcontext() costs an
+// rt_sigprocmask syscall per switch, which dominates host time at the
+// millions of switches a large run performs. Other architectures — and
+// sanitizer builds, whose fake-stack bookkeeping hooks swapcontext — keep
+// the portable ucontext path.
 #pragma once
-
-#include <ucontext.h>
 
 #include <cstddef>
 #include <functional>
 #include <memory>
 
+#if defined(__x86_64__) && !defined(__SANITIZE_ADDRESS__)
+#if defined(__has_feature)
+#if !__has_feature(address_sanitizer)
+#define MCIO_FIBER_FAST_SWITCH 1
+#endif
+#else
+#define MCIO_FIBER_FAST_SWITCH 1
+#endif
+#endif
+
+#if !defined(MCIO_FIBER_FAST_SWITCH)
+#include <ucontext.h>
+#endif
+
 namespace mcio::sim {
+
+#if defined(MCIO_FIBER_FAST_SWITCH)
+/// A suspended execution context: the saved stack pointer.
+using FiberContext = void*;
+#else
+using FiberContext = ucontext_t;
+#endif
 
 class Fiber {
  public:
-  /// Creates a fiber that will run `body` when first resumed. `link` is the
-  /// context control returns to if `body` ever returns normally.
+  /// Creates a fiber that will run `body` when first resumed. `link` is
+  /// the context control returns to if `body` ever returns normally.
   Fiber(std::size_t stack_bytes, std::function<void()> body,
-        ucontext_t* link);
+        FiberContext* link);
 
   Fiber(const Fiber&) = delete;
   Fiber& operator=(const Fiber&) = delete;
 
   /// Switches from `from` into this fiber.
-  void resume_from(ucontext_t* from);
+  void resume_from(FiberContext* from);
 
   /// Switches out of this fiber back into `to` (called from inside body).
-  void yield_to(ucontext_t* to);
+  void yield_to(FiberContext* to);
 
  private:
+#if defined(MCIO_FIBER_FAST_SWITCH)
+  friend void run_fiber_trampoline(Fiber* self);
+#else
   static void trampoline(unsigned hi, unsigned lo);
+#endif
 
   std::unique_ptr<char[]> stack_;
-  ucontext_t ctx_{};
+  FiberContext ctx_{};
+  FiberContext* link_ = nullptr;
   std::function<void()> body_;
 };
 

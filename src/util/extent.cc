@@ -81,6 +81,19 @@ ExtentList ExtentList::clipped(const Extent& window) const {
   return out;
 }
 
+void ExtentCursor::clipped_into(const Extent& window, ExtentList* out) {
+  out->clear();
+  while (idx_ < runs_->size() && (*runs_)[idx_].end() <= window.offset) {
+    ++idx_;
+  }
+  for (std::size_t j = idx_;
+       j < runs_->size() && (*runs_)[j].offset < window.end(); ++j) {
+    if (const auto x = intersect((*runs_)[j], window)) {
+      out->runs_.push_back(*x);
+    }
+  }
+}
+
 ExtentList ExtentList::intersected(const ExtentList& other) const {
   ExtentList out;
   auto a = runs_.begin();

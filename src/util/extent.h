@@ -79,10 +79,38 @@ class ExtentList {
   /// True when the list is one contiguous run (or empty).
   bool contiguous() const { return runs_.size() <= 1; }
 
+  /// Empties the list, keeping capacity (for scratch reuse).
+  void clear() { runs_.clear(); }
+
   friend bool operator==(const ExtentList&, const ExtentList&) = default;
 
  private:
+  friend class ExtentCursor;
   std::vector<Extent> runs_;
+};
+
+/// Monotone clipping cursor over a normalized extent list: produces the
+/// same result as ExtentList::clipped(window), but windows must be queried
+/// in increasing offset order, making a sweep over W windows and R runs
+/// O(W + R) instead of O(W · R). The referenced list must outlive the
+/// cursor and stay unmodified.
+class ExtentCursor {
+ public:
+  explicit ExtentCursor(const ExtentList& list) : runs_(&list.runs()) {}
+
+  /// Bytes of the list inside `window`; equivalent to list.clipped(window).
+  ExtentList clipped(const Extent& window) {
+    ExtentList out;
+    clipped_into(window, &out);
+    return out;
+  }
+
+  /// As clipped(), reusing `out`'s storage.
+  void clipped_into(const Extent& window, ExtentList* out);
+
+ private:
+  const std::vector<Extent>* runs_;
+  std::size_t idx_ = 0;
 };
 
 std::ostream& operator<<(std::ostream& os, const ExtentList& l);

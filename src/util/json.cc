@@ -1,0 +1,148 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace mcio::util {
+
+namespace {
+
+void dump_string(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      case '\r':
+        os << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c));
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void dump_double(std::ostream& os, double v) {
+  if (!std::isfinite(v)) {  // JSON has no inf/nan
+    os << "null";
+    return;
+  }
+  char buf[32];
+  // Shortest representation that round-trips a double.
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  double parsed = 0.0;
+  std::sscanf(buf, "%lf", &parsed);
+  for (int prec = 1; prec < 17; ++prec) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+    std::sscanf(shorter, "%lf", &parsed);
+    if (parsed == v) {
+      os << shorter;
+      return;
+    }
+  }
+  os << buf;
+}
+
+void indent(std::ostream& os, int depth) {
+  for (int i = 0; i < depth; ++i) os << "  ";
+}
+
+}  // namespace
+
+Json& Json::set(std::string key, Json value) {
+  MCIO_CHECK_MSG(is_object(), "Json::set on a non-object");
+  auto& members = std::get<Members>(value_);
+  for (auto& [k, v] : members) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  members.emplace_back(std::move(key), std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  MCIO_CHECK_MSG(is_array(), "Json::push on a non-array");
+  std::get<Elements>(value_).push_back(std::move(value));
+  return *this;
+}
+
+void Json::dump_value(std::ostream& os, int depth) const {
+  if (std::holds_alternative<std::nullptr_t>(value_)) {
+    os << "null";
+  } else if (const auto* b = std::get_if<bool>(&value_)) {
+    os << (*b ? "true" : "false");
+  } else if (const auto* d = std::get_if<double>(&value_)) {
+    dump_double(os, *d);
+  } else if (const auto* i = std::get_if<std::int64_t>(&value_)) {
+    os << *i;
+  } else if (const auto* u = std::get_if<std::uint64_t>(&value_)) {
+    os << *u;
+  } else if (const auto* s = std::get_if<std::string>(&value_)) {
+    dump_string(os, *s);
+  } else if (const auto* m = std::get_if<Members>(&value_)) {
+    if (m->empty()) {
+      os << "{}";
+      return;
+    }
+    os << "{\n";
+    for (std::size_t i = 0; i < m->size(); ++i) {
+      indent(os, depth + 1);
+      dump_string(os, (*m)[i].first);
+      os << ": ";
+      (*m)[i].second.dump_value(os, depth + 1);
+      os << (i + 1 < m->size() ? ",\n" : "\n");
+    }
+    indent(os, depth);
+    os << "}";
+  } else if (const auto* a = std::get_if<Elements>(&value_)) {
+    if (a->empty()) {
+      os << "[]";
+      return;
+    }
+    os << "[\n";
+    for (std::size_t i = 0; i < a->size(); ++i) {
+      indent(os, depth + 1);
+      (*a)[i].dump_value(os, depth + 1);
+      os << (i + 1 < a->size() ? ",\n" : "\n");
+    }
+    indent(os, depth);
+    os << "]";
+  }
+}
+
+void Json::dump(std::ostream& os) const {
+  dump_value(os, 0);
+  os << "\n";
+}
+
+std::string Json::str() const {
+  std::ostringstream os;
+  dump(os);
+  return os.str();
+}
+
+}  // namespace mcio::util

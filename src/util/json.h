@@ -1,0 +1,66 @@
+// A minimal JSON document builder for machine-readable bench output.
+//
+// Insertion-ordered objects, exact double round-tripping, no parsing —
+// just enough to emit BENCH_*.json files without an external dependency.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+namespace mcio::util {
+
+class Json {
+ public:
+  Json() : value_(nullptr) {}
+  Json(std::nullptr_t) : value_(nullptr) {}
+  Json(bool v) : value_(v) {}
+  Json(double v) : value_(v) {}
+  Json(int v) : value_(static_cast<std::int64_t>(v)) {}
+  Json(std::int64_t v) : value_(v) {}
+  Json(std::uint64_t v) : value_(v) {}
+  Json(const char* v) : value_(std::string(v)) {}
+  Json(std::string v) : value_(std::move(v)) {}
+
+  static Json object() {
+    Json j;
+    j.value_ = Members{};
+    return j;
+  }
+  static Json array() {
+    Json j;
+    j.value_ = Elements{};
+    return j;
+  }
+
+  /// Sets a key on an object (keys keep insertion order; duplicate keys
+  /// overwrite in place). Returns *this for chaining.
+  Json& set(std::string key, Json value);
+
+  /// Appends to an array. Returns *this for chaining.
+  Json& push(Json value);
+
+  bool is_object() const { return std::holds_alternative<Members>(value_); }
+  bool is_array() const { return std::holds_alternative<Elements>(value_); }
+
+  /// Pretty-prints with 2-space indentation and a trailing newline at the
+  /// top level.
+  void dump(std::ostream& os) const;
+  std::string str() const;
+
+ private:
+  using Members = std::vector<std::pair<std::string, Json>>;
+  using Elements = std::vector<Json>;
+
+  void dump_value(std::ostream& os, int depth) const;
+
+  std::variant<std::nullptr_t, bool, double, std::int64_t, std::uint64_t,
+               std::string, Members, Elements>
+      value_;
+};
+
+}  // namespace mcio::util

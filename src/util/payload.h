@@ -86,6 +86,11 @@ class OwnedPayload {
     return bytes_.empty() ? ConstPayload::virtual_bytes(size_)
                           : ConstPayload{bytes_.data(), size_};
   }
+  /// Moves the stored bytes out (empty for virtual payloads).
+  std::vector<std::byte> release() {
+    size_ = 0;
+    return std::move(bytes_);
+  }
 
  private:
   std::vector<std::byte> bytes_;
