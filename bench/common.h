@@ -184,7 +184,36 @@ struct RunOptions {
   std::uint64_t mem_seed = 20120512;  ///< fixed: same draws for all drivers
   core::MccioConfig mccio;
   io::Hints hints;
+  /// Memory-pressure fault injection; a FaultPlan is attached to the
+  /// MemoryManager only when any rate is nonzero, so the default keeps
+  /// every run on the exact fault-free code path (golden-compatible).
+  node::FaultConfig faults;
+  /// Attach the FaultPlan even when every rate is zero. Fault sweeps set
+  /// this so their zero-rate point runs the same degraded protocol
+  /// (buffer negotiation before data movement) as every other point —
+  /// otherwise the first step of the sweep compares two protocols.
+  bool attach_fault_plan = false;
 };
+
+/// Attaches the degradation-ladder counters of one collective phase to a
+/// JSON point, prefixed "write_"/"read_" (the --json fault schema).
+inline void set_fault_counters(util::Json& point, const std::string& prefix,
+                               const metrics::CollectiveStats& stats) {
+  const metrics::DegradationStats& d = stats.degradation();
+  point.set(prefix + "lease_denials", d.lease_denials)
+      .set(prefix + "lease_retries", d.lease_retries)
+      .set(prefix + "backoff_s", d.backoff_s)
+      .set(prefix + "grant_delays", d.grant_delays)
+      .set(prefix + "grant_delay_s", d.grant_delay_s)
+      .set(prefix + "revocations", d.revocations)
+      .set(prefix + "buffer_shrinks", d.buffer_shrinks)
+      .set(prefix + "spills", d.spills)
+      .set(prefix + "spilled_bytes", d.spilled_bytes)
+      .set(prefix + "plan_remerges", d.plan_remerges)
+      .set(prefix + "exhausted_nodes", d.exhausted_nodes)
+      .set(prefix + "fallback_ranks", d.fallback_ranks)
+      .set(prefix + "fallback_bytes", d.fallback_bytes);
+}
 
 /// One experiment: collective write of the whole workload, cache flush,
 /// collective read; returns the paper-style aggregate bandwidths.
@@ -196,6 +225,10 @@ inline RunResult run_experiment(const RunOptions& opt,
   var.relative_stdev = opt.mem_stdev;
   node::MemoryManager memory(opt.testbed.cluster(), opt.mem_mean, var,
                              opt.mem_seed);
+  node::FaultPlan fault_plan(opt.testbed.nodes, opt.faults);
+  if (opt.faults.any() || opt.attach_fault_plan) {
+    memory.set_fault_plan(&fault_plan);
+  }
 
   io::TwoPhaseDriver two_phase;
   core::MccioDriver mccio(opt.mccio);

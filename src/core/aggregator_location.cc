@@ -120,6 +120,7 @@ std::vector<io::FileDomain> locate_aggregators(PartitionTree& tree,
       // are inspected again.
       const int absorber = tree.remerge_into_neighbor(leaf);
       MCIO_CHECK_GE(absorber, 0);
+      if (in.remerges != nullptr) ++(*in.remerges);
       const bool absorbed_left =
           tree.extent_of(absorber).offset < ext.offset;
       leaves = tree.leaf_ids();

@@ -38,6 +38,9 @@ struct LocationInput {
   std::uint64_t buffer_align = 0;
   int n_ah = 1;               ///< max aggregators per host
   bool remerging = true;      ///< ablation switch (off: place anyway)
+  /// Optional counter bumped once per remerge performed (degradation
+  /// metrics; the caller aggregates across groups).
+  std::uint64_t* remerges = nullptr;
   /// Ablation switch: off ignores Mem_avl (first related host wins and no
   /// memory floor is enforced), isolating §3.3's contribution.
   bool memory_aware = true;

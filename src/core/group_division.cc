@@ -38,9 +38,24 @@ std::vector<AggregationGroup> divide_serial(const GroupDivisionInput& in) {
            in.rank_bounds[static_cast<std::size_t>(b)].offset;
   });
 
+  // Last position of each process's node in the order: a cut at i is a
+  // true node boundary only when every node seen in order[0..i] occurs
+  // nowhere after i — otherwise the cut would split a physical node
+  // across groups (the Fig 4 invariant), which a simple adjacent-node
+  // comparison misses when a node's ranks are non-contiguous in offset
+  // order.
+  std::vector<std::size_t> last_pos;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const auto node = static_cast<std::size_t>(
+        in.rank_nodes[static_cast<std::size_t>(order[i])]);
+    if (node >= last_pos.size()) last_pos.resize(node + 1, 0);
+    last_pos[node] = i;
+  }
+
   std::vector<AggregationGroup> groups;
   AggregationGroup cur;
   std::uint64_t accumulated = 0;
+  std::size_t open_until = 0;  ///< max last_pos over nodes seen so far
   for (std::size_t i = 0; i < order.size(); ++i) {
     const int r = order[i];
     const Extent& b = in.rank_bounds[static_cast<std::size_t>(r)];
@@ -48,14 +63,18 @@ std::vector<AggregationGroup> divide_serial(const GroupDivisionInput& in) {
     cur.ranks.push_back(r);
     accumulated += b.len;
     cur.region.len = b.end() - cur.region.offset;
+    open_until = std::max(
+        open_until,
+        last_pos[static_cast<std::size_t>(
+            in.rank_nodes[static_cast<std::size_t>(r)])]);
     // Cut once the group reached Msg_group — but only at a compute-node
     // boundary, extending the group to the ending offset of the data of
-    // the last process on the current node (Fig 4).
+    // the last process on the current node (Fig 4). Msg_group == 0 means
+    // no threshold: everything stays in one group.
     const bool last = i + 1 == order.size();
-    const bool node_boundary =
-        !last && in.rank_nodes[static_cast<std::size_t>(order[i + 1])] !=
-                     in.rank_nodes[static_cast<std::size_t>(r)];
-    if (last || (accumulated >= in.msg_group && node_boundary)) {
+    const bool node_boundary = open_until == i;
+    const bool reached = in.msg_group > 0 && accumulated >= in.msg_group;
+    if (last || (reached && node_boundary)) {
       groups.push_back(std::move(cur));
       cur = AggregationGroup{};
       accumulated = 0;
@@ -81,8 +100,13 @@ std::vector<AggregationGroup> divide_interleaved(
   const std::uint64_t span = gmax - gmin;
   const std::vector<int> nodes(node_set.begin(), node_set.end());
   const auto num_nodes = static_cast<std::uint64_t>(nodes.size());
-  std::uint64_t g = (span + in.msg_group - 1) / in.msg_group;
-  g = std::clamp<std::uint64_t>(g, 1, num_nodes);
+  // Msg_group == 0 means no division (one group); the clamp keeps the
+  // group count in [1, nodes] even when every node's data exceeds
+  // Msg_group (g would otherwise outrun the nodes available to staff the
+  // groups).
+  std::uint64_t g =
+      in.msg_group == 0 ? 1 : (span + in.msg_group - 1) / in.msg_group;
+  g = std::clamp<std::uint64_t>(g, 1, std::max<std::uint64_t>(num_nodes, 1));
 
   // Weight of one node (uniform when no weights are supplied).
   const auto weight_of = [&](int node) {
@@ -145,7 +169,6 @@ std::vector<AggregationGroup> divide_interleaved(
 }  // namespace
 
 std::vector<AggregationGroup> divide_groups(const GroupDivisionInput& in) {
-  MCIO_CHECK_GT(in.msg_group, 0u);
   MCIO_CHECK_EQ(in.rank_bounds.size(), in.rank_nodes.size());
   bool any = false;
   for (const Extent& e : in.rank_bounds) any = any || !e.empty();

@@ -25,6 +25,7 @@ struct GroupDivisionInput {
   /// Physical node of each rank.
   std::vector<int> rank_nodes;
   /// Target bytes of workload per aggregation group (Msg_group).
+  /// 0 = no division: all data-bearing ranks form a single group.
   std::uint64_t msg_group = 0;
   /// Optional alignment for region cuts in the interleaved fallback.
   std::uint64_t align = 0;

@@ -6,6 +6,7 @@
 #include "core/aggregator_location.h"
 #include "core/group_division.h"
 #include "core/partition_tree.h"
+#include "io/independent.h"
 #include "util/check.h"
 
 namespace mcio::core {
@@ -170,7 +171,40 @@ io::ExchangePlan MccioDriver::build_plan(io::CollContext& ctx,
   // qualifies, the classic leaf search with remerging (§3.2/§3.3) places
   // domains on whatever memory exists.
   std::vector<int> node_aggregators(node_available.size(), 0);
-  for (const AggregationGroup& group : groups) {
+  const node::FaultPlan* faults = ctx.memory->fault_plan();
+  std::uint64_t remerges = 0;
+
+  // Last rung of the degradation ladder, decided up front so no later
+  // placement can pick a doomed aggregator: a group whose hosts are all
+  // exhausted cannot back even a Msg_ind buffer anywhere. Its ranks drop
+  // out of the shuffle entirely (the driver performs their I/O
+  // independently) and their bounds are cleared *before* any group is
+  // placed, so leaf searches below never select them.
+  std::vector<bool> group_dead(groups.size(), false);
+  if (faults != nullptr && config_.memory_aware) {
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+      const AggregationGroup& group = groups[gi];
+      if (group.region.empty() || group.ranks.empty()) continue;
+      bool all_exhausted = true;
+      for (const int r : group.ranks) {
+        if (!faults->exhausted(rank_nodes[static_cast<std::size_t>(r)])) {
+          all_exhausted = false;
+          break;
+        }
+      }
+      if (!all_exhausted) continue;
+      group_dead[gi] = true;
+      for (const int r : group.ranks) {
+        xplan.rank_bounds[static_cast<std::size_t>(r)] = Extent{};
+        xplan.independent_ranks.push_back(r);
+      }
+    }
+    std::sort(xplan.independent_ranks.begin(),
+              xplan.independent_ranks.end());
+  }
+
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    const AggregationGroup& group = groups[gi];
     if (group.region.empty()) continue;
     std::vector<int> group_nodes;
     for (const int r : group.ranks) {
@@ -180,6 +214,32 @@ io::ExchangePlan MccioDriver::build_plan(io::CollContext& ctx,
     group_nodes.erase(
         std::unique(group_nodes.begin(), group_nodes.end()),
         group_nodes.end());
+
+    if (group_dead[gi]) {
+      // Healthy ranks from other groups whose requests still intersect
+      // the region — interleaved layouts — pick up its domains via the
+      // leaf search over all ranks. Serial layouts leave only holes.
+      LocationInput lin;
+      lin.rank_bounds = xplan.rank_bounds;
+      lin.rank_nodes = rank_nodes;
+      lin.node_available = &node_available;
+      lin.node_aggregators = &node_aggregators;
+      lin.mem_min = mem_min;
+      lin.msg_ind = msg_ind;
+      lin.buffer_align = stripe;
+      lin.n_ah = config_.n_ah;
+      lin.remerging = config_.remerging;
+      lin.memory_aware = config_.memory_aware;
+      lin.remerges = &remerges;
+      const std::uint64_t by_msg_ind =
+          (group.region.len + msg_ind - 1) / msg_ind;
+      PartitionTree tree(group.region);
+      tree.bisect_into(std::clamp<std::uint64_t>(by_msg_ind, 1, 16),
+                       stripe);
+      auto domains = locate_aggregators(tree, lin);
+      for (io::FileDomain& d : domains) xplan.domains.push_back(d);
+      continue;
+    }
 
     struct Slot {
       int node;
@@ -215,6 +275,7 @@ io::ExchangePlan MccioDriver::build_plan(io::CollContext& ctx,
       lin.n_ah = config_.n_ah;
       lin.remerging = config_.remerging;
       lin.memory_aware = config_.memory_aware;
+      lin.remerges = &remerges;
       auto domains = locate_aggregators(tree, lin);
       for (io::FileDomain& d : domains) xplan.domains.push_back(d);
       continue;
@@ -257,20 +318,63 @@ io::ExchangePlan MccioDriver::build_plan(io::CollContext& ctx,
       xplan.domains.push_back(d);
     }
   }
+
+  // Plan-time degradation counters, recorded once (build_plan runs on
+  // every rank with identical inputs; stats are shared).
+  if (ctx.stats != nullptr && ctx.comm->rank() == 0 &&
+      (remerges > 0 || faults != nullptr)) {
+    std::uint64_t exhausted = 0;
+    if (faults != nullptr) {
+      for (const int n : nodes_with_data) {
+        if (faults->exhausted(n)) ++exhausted;
+      }
+    }
+    if (remerges > 0 || exhausted > 0) {
+      ctx.stats->record_plan_degradation(remerges, exhausted);
+    }
+  }
   return xplan;
 }
+
+namespace {
+
+/// True when `rank` was degraded to independent I/O by the plan.
+bool is_fallback(const io::ExchangePlan& xplan, int rank) {
+  return std::binary_search(xplan.independent_ranks.begin(),
+                            xplan.independent_ranks.end(), rank);
+}
+
+}  // namespace
 
 void MccioDriver::write_all(io::CollContext& ctx,
                             const io::AccessPlan& plan) {
   plan.validate();
-  io::TwoPhaseExchange exchange(ctx, plan, build_plan(ctx, plan));
+  io::ExchangePlan xplan = build_plan(ctx, plan);
+  const bool fallback = is_fallback(xplan, ctx.comm->rank());
+  // Every rank constructs the exchange (tag reservation is collective);
+  // fallback ranks then bypass it and write their plan independently.
+  io::TwoPhaseExchange exchange(ctx, plan, std::move(xplan));
+  if (fallback) {
+    if (ctx.stats != nullptr) ctx.stats->record_fallback(plan.total_bytes());
+    exchange.fallback_sync();
+    io::independent_write(ctx, plan);
+    return;
+  }
   exchange.write();
 }
 
 void MccioDriver::read_all(io::CollContext& ctx,
                            const io::AccessPlan& plan) {
   plan.validate();
-  io::TwoPhaseExchange exchange(ctx, plan, build_plan(ctx, plan));
+  io::ExchangePlan xplan = build_plan(ctx, plan);
+  const bool fallback = is_fallback(xplan, ctx.comm->rank());
+  io::TwoPhaseExchange exchange(ctx, plan, std::move(xplan));
+  if (fallback) {
+    if (ctx.stats != nullptr) ctx.stats->record_fallback(plan.total_bytes());
+    exchange.fallback_sync();
+    io::independent_read(ctx, plan);
+    return;
+  }
   exchange.read();
 }
 

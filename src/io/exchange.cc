@@ -1,7 +1,9 @@
 #include "io/exchange.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstring>
+#include <limits>
 
 #include "util/check.h"
 
@@ -15,6 +17,15 @@ using util::Piece;
 
 void ExchangePlan::validate(int comm_size) const {
   MCIO_CHECK_EQ(rank_bounds.size(), static_cast<std::size_t>(comm_size));
+  for (std::size_t i = 0; i < independent_ranks.size(); ++i) {
+    const int r = independent_ranks[i];
+    MCIO_CHECK_GE(r, 0);
+    MCIO_CHECK_LT(r, comm_size);
+    MCIO_CHECK_MSG(rank_bounds[static_cast<std::size_t>(r)].empty(),
+                   "independent-fallback rank " << r
+                       << " still has exchange bounds");
+    if (i > 0) MCIO_CHECK_LT(independent_ranks[i - 1], r);
+  }
   for (std::size_t i = 0; i < domains.size(); ++i) {
     const FileDomain& d = domains[i];
     MCIO_CHECK_MSG(!d.extent.empty(), "empty file domain " << i);
@@ -60,7 +71,11 @@ TwoPhaseExchange::TwoPhaseExchange(CollContext& ctx, const AccessPlan& plan,
   MCIO_CHECK(ctx_.fs != nullptr);
   MCIO_CHECK(ctx_.memory != nullptr);
   xplan_.validate(ctx_.comm->size());
+  // The MemoryManager is shared by every rank, so all ranks agree on the
+  // protocol variant (and reserve the same tags below).
+  degraded_ = ctx_.memory->faults_enabled();
   tag_lists_ = ctx_.comm->reserve_tags(1);
+  if (degraded_) tag_wsize_ = ctx_.comm->reserve_tags(1);
   tag_data_base_ =
       ctx_.comm->reserve_tags(std::max<int>(1, static_cast<int>(
                                                    xplan_.domains.size())));
@@ -94,15 +109,23 @@ void TwoPhaseExchange::charge_copy(int node, std::uint64_t bytes,
   actor().advance_to(done);
 }
 
-// The cb_buffer-sized windows of a domain, iterated oldest-offset first:
-//   for (Extent w; next_window(d, &w);) { ... }
+// Virtual seconds between the negotiation's allreduce and the aligned
+// start of the data phase. Must exceed the allreduce's own propagation
+// skew (µs-scale) so every rank resumes at exactly the same instant; see
+// close_negotiation().
+static constexpr double kNegotiationCloseSlack = 1e-3;
+
+// The win-sized windows of a domain extent, iterated oldest-offset first:
+//   for (Extent w{}; next_window(fd, win, &w);) { ... }
 // where `w` must start zero-initialized. Kept as a plain advancing
-// function so window iteration allocates nothing.
-static bool next_window(const FileDomain& d, Extent* w) {
-  const std::uint64_t pos = w->len == 0 ? d.extent.offset : w->end();
-  const std::uint64_t end = d.extent.end();
+// function so window iteration allocates nothing. `win` is the planned
+// buffer in fault-free runs and the negotiated (possibly shrunk) buffer
+// in fault-injected runs — sender and receiver must pass the same value.
+static bool next_window(const Extent& fd, std::uint64_t win, Extent* w) {
+  const std::uint64_t pos = w->len == 0 ? fd.offset : w->end();
+  const std::uint64_t end = fd.end();
   if (pos >= end) return false;
-  *w = Extent{pos, std::min<std::uint64_t>(d.buffer_bytes, end - pos)};
+  *w = Extent{pos, std::min<std::uint64_t>(win, end - pos)};
   return true;
 }
 
@@ -190,13 +213,108 @@ void TwoPhaseExchange::recv_extent_lists() {
   }
 }
 
+TwoPhaseExchange::BufferGrant TwoPhaseExchange::acquire_buffer(
+    std::uint64_t want, std::uint64_t site) {
+  const int node = my_node();
+  std::uint64_t bytes = want;
+  const std::uint64_t floor = std::min<std::uint64_t>(
+      want, std::max<std::uint64_t>(1, ctx_.hints.fault_shrink_floor));
+  double backoff = ctx_.hints.fault_backoff_s;
+  int retries = 0;
+  std::uint64_t attempt = 0;  // never reset: the plan's per-ladder index
+  for (;;) {
+    actor().sync();
+    node::LeaseAttempt att = ctx_.memory->try_lease(node, bytes, site,
+                                                    attempt++);
+    if (att.granted) {
+      if (att.delay_s > 0.0) {
+        // Transient reclaim delay before the grant becomes usable.
+        actor().advance(att.delay_s);
+        if (ctx_.stats != nullptr) {
+          ctx_.stats->record_grant_delay(att.delay_s);
+        }
+      }
+      BufferGrant g;
+      g.revoke_after = att.lease.revoke_after();
+      g.window_bytes = bytes;
+      // The probe only settled the terms; drop its accounting so domains
+      // hold memory one at a time during processing, like the fault-free
+      // protocol.
+      att.lease.release();
+      return g;
+    }
+    if (ctx_.stats != nullptr) ctx_.stats->record_denial();
+    if (retries < ctx_.hints.fault_max_retries) {
+      // Rung 1: back off in virtual time and re-attempt.
+      actor().advance(backoff);
+      if (ctx_.stats != nullptr) ctx_.stats->record_retry(backoff);
+      backoff *= 2.0;
+      ++retries;
+    } else if (bytes > floor) {
+      // Rung 3a: shrink the buffer and restart the retry budget.
+      bytes = std::max(floor, bytes / 2);
+      if (ctx_.stats != nullptr) ctx_.stats->record_shrink();
+      retries = 0;
+      backoff = ctx_.hints.fault_backoff_s;
+    } else {
+      // Rung 3b: spill — swap always has room; the buffer is swap-backed
+      // and every byte through it pages.
+      BufferGrant g;
+      g.window_bytes = bytes;
+      g.spilled = true;
+      if (ctx_.stats != nullptr) ctx_.stats->record_spill();
+      return g;
+    }
+  }
+}
+
+void TwoPhaseExchange::negotiate_buffers() {
+  grants_.clear();
+  grants_.reserve(owned_.size());
+  for (const DomainWork& work : owned_) {
+    const FileDomain& d =
+        xplan_.domains[static_cast<std::size_t>(work.index)];
+    BufferGrant g = acquire_buffer(d.buffer_bytes, d.extent.offset);
+    // Announce the final window size to every rank whose request
+    // intersects the domain (the same set that sent extent lists), so
+    // both sides window the data stream identically.
+    const std::uint64_t wsize = g.window_bytes;
+    for (int s = 0; s < ctx_.comm->size(); ++s) {
+      const Extent b = xplan_.rank_bounds[static_cast<std::size_t>(s)];
+      if (b.empty() || !util::intersect(b, d.extent)) continue;
+      ctx_.comm->send(
+          s, tag_wsize_,
+          ConstPayload::real(reinterpret_cast<const std::byte*>(&wsize),
+                             sizeof(wsize)));
+    }
+    grants_.push_back(std::move(g));
+  }
+}
+
+void TwoPhaseExchange::recv_window_sizes() {
+  client_window_.assign(client_domains_.size(), 0);
+  for (std::size_t i = 0; i < client_domains_.size(); ++i) {
+    const FileDomain& d =
+        xplan_.domains[static_cast<std::size_t>(client_domains_[i])];
+    std::uint64_t wsize = 0;
+    ctx_.comm->recv(d.aggregator, tag_wsize_,
+                    Payload::real(reinterpret_cast<std::byte*>(&wsize),
+                                  sizeof(wsize)));
+    MCIO_CHECK_GT(wsize, 0u);
+    client_window_[i] = wsize;
+  }
+}
+
 void TwoPhaseExchange::client_send_data() {
   PieceCursor cursor(plan_.extents);
   std::vector<std::byte> tmp;   // pack staging, reused across windows
   std::vector<Piece> pieces;    // window pieces, reused across windows
-  for (const int di : client_domains_) {
+  for (std::size_t ci = 0; ci < client_domains_.size(); ++ci) {
+    const int di = client_domains_[ci];
     const FileDomain& d = xplan_.domains[static_cast<std::size_t>(di)];
-    for (Extent w{}; next_window(d, &w);) {
+    const std::uint64_t win =
+        degraded_ ? client_window_[ci] : d.buffer_bytes;
+    for (Extent w{}; next_window(d.extent, win, &w);) {
       cursor.advance(w, &pieces);
       if (pieces.empty()) continue;
       std::uint64_t total = 0;
@@ -230,29 +348,45 @@ void TwoPhaseExchange::aggregator_write() {
   std::vector<std::vector<std::byte>> pool;
   std::vector<std::uint64_t> sizes;
   ExtentList cover;
-  for (DomainWork& work : owned_) {
+  for (std::size_t k = 0; k < owned_.size(); ++k) {
+    DomainWork& work = owned_[k];
     const FileDomain& d =
         xplan_.domains[static_cast<std::size_t>(work.index)];
+    BufferGrant* grant = degraded_ ? &grants_[k] : nullptr;
+    const std::uint64_t win_bytes =
+        grant != nullptr ? grant->window_bytes : d.buffer_bytes;
     actor().sync();
-    node::Lease lease = ctx_.memory->lease(my_node(), d.buffer_bytes);
+    node::Lease lease = ctx_.memory->lease(my_node(), win_bytes);
+    double revoke_at = std::numeric_limits<double>::infinity();
+    if (grant != nullptr && std::isfinite(grant->revoke_after)) {
+      revoke_at = actor().now() + grant->revoke_after;
+    }
     // Copies through an overcommitted buffer page against the memory bus;
     // file-system transfers page against the NIC path.
-    const double io_scale = ctx_.memory->bw_scale_for(
+    double copy_scale = lease.bw_scale();
+    double io_scale = ctx_.memory->bw_scale_for(
         lease.pressure(), ctx_.rank->machine().config().nic_bandwidth);
+    if (grant != nullptr && grant->spilled) {
+      // Ladder bottomed out at negotiation: the buffer is swap-backed,
+      // every byte through it pages.
+      copy_scale = ctx_.memory->pressure_bw_scale(1.0);
+      io_scale = ctx_.memory->bw_scale_for(
+          1.0, ctx_.rank->machine().config().nic_bandwidth);
+    }
     metrics::AggregatorRecord rec;
     rec.rank = my_rank();
     rec.node = my_node();
-    rec.buffer_bytes = d.buffer_bytes;
+    rec.buffer_bytes = win_bytes;
     rec.pressure = lease.pressure();
     std::vector<std::byte> cb;
     if (xplan_.real_data) {
-      cb.resize(std::min<std::uint64_t>(d.buffer_bytes, d.extent.len));
+      cb.resize(std::min<std::uint64_t>(win_bytes, d.extent.len));
     }
     sweeps.clear();
     for (const auto& [s, list] : work.per_source) {
       sweeps.push_back(SourceSweep{s, util::ExtentCursor(list), {}});
     }
-    for (Extent w{}; next_window(d, &w);) {
+    for (Extent w{}; next_window(d.extent, win_bytes, &w);) {
       cover.clear();
       active.clear();
       for (std::size_t i = 0; i < sweeps.size(); ++i) {
@@ -263,6 +397,16 @@ void TwoPhaseExchange::aggregator_write() {
       }
       if (cover.empty()) continue;
       ++rec.rounds;
+      if (grant != nullptr && !grant->revoked &&
+          actor().now() >= revoke_at) {
+        // Rung 2: the fault plan pulled the backing mid-collective; the
+        // rest of the exchange runs at swap speed through this buffer.
+        grant->revoked = true;
+        copy_scale = ctx_.memory->pressure_bw_scale(1.0);
+        io_scale = ctx_.memory->bw_scale_for(
+            1.0, ctx_.rank->machine().config().nic_bandwidth);
+        if (ctx_.stats != nullptr) ctx_.stats->record_revocation();
+      }
       const Extent span = cover.bounds();
       const bool holes = !cover.contiguous();
 
@@ -301,7 +445,11 @@ void TwoPhaseExchange::aggregator_write() {
       // Overlay received pieces into the collective buffer.
       for (std::size_t i = 0; i < active.size(); ++i) {
         const SourceSweep& sw = sweeps[active[i]];
-        charge_copy(my_node(), sizes[i], lease.bw_scale());
+        charge_copy(my_node(), sizes[i], copy_scale);
+        if (grant != nullptr && (grant->spilled || grant->revoked) &&
+            ctx_.stats != nullptr) {
+          ctx_.stats->record_spilled_bytes(sizes[i]);
+        }
         if (xplan_.real_data) {
           std::uint64_t off = 0;
           for (const Extent& run : sw.clip.runs()) {
@@ -348,29 +496,45 @@ void TwoPhaseExchange::aggregator_read() {
   std::vector<SourceSweep> sweeps;
   ExtentList cover;
   std::vector<std::byte> tmp;  // pack staging, reused across sends
-  for (DomainWork& work : owned_) {
+  for (std::size_t k = 0; k < owned_.size(); ++k) {
+    DomainWork& work = owned_[k];
     const FileDomain& d =
         xplan_.domains[static_cast<std::size_t>(work.index)];
+    BufferGrant* grant = degraded_ ? &grants_[k] : nullptr;
+    const std::uint64_t win_bytes =
+        grant != nullptr ? grant->window_bytes : d.buffer_bytes;
     actor().sync();
-    node::Lease lease = ctx_.memory->lease(my_node(), d.buffer_bytes);
+    node::Lease lease = ctx_.memory->lease(my_node(), win_bytes);
+    double revoke_at = std::numeric_limits<double>::infinity();
+    if (grant != nullptr && std::isfinite(grant->revoke_after)) {
+      revoke_at = actor().now() + grant->revoke_after;
+    }
     // Copies through an overcommitted buffer page against the memory bus;
     // file-system transfers page against the NIC path.
-    const double io_scale = ctx_.memory->bw_scale_for(
+    double copy_scale = lease.bw_scale();
+    double io_scale = ctx_.memory->bw_scale_for(
         lease.pressure(), ctx_.rank->machine().config().nic_bandwidth);
+    if (grant != nullptr && grant->spilled) {
+      // Ladder bottomed out at negotiation: the buffer is swap-backed,
+      // every byte through it pages.
+      copy_scale = ctx_.memory->pressure_bw_scale(1.0);
+      io_scale = ctx_.memory->bw_scale_for(
+          1.0, ctx_.rank->machine().config().nic_bandwidth);
+    }
     metrics::AggregatorRecord rec;
     rec.rank = my_rank();
     rec.node = my_node();
-    rec.buffer_bytes = d.buffer_bytes;
+    rec.buffer_bytes = win_bytes;
     rec.pressure = lease.pressure();
     std::vector<std::byte> cb;
     if (xplan_.real_data) {
-      cb.resize(std::min<std::uint64_t>(d.buffer_bytes, d.extent.len));
+      cb.resize(std::min<std::uint64_t>(win_bytes, d.extent.len));
     }
     sweeps.clear();
     for (const auto& [s, list] : work.per_source) {
       sweeps.push_back(SourceSweep{s, util::ExtentCursor(list), {}});
     }
-    for (Extent w{}; next_window(d, &w);) {
+    for (Extent w{}; next_window(d.extent, win_bytes, &w);) {
       cover.clear();
       bool any = false;
       for (SourceSweep& sw : sweeps) {
@@ -381,6 +545,15 @@ void TwoPhaseExchange::aggregator_read() {
       }
       if (!any) continue;
       ++rec.rounds;
+      if (grant != nullptr && !grant->revoked &&
+          actor().now() >= revoke_at) {
+        // Rung 2: backing revoked mid-collective — swap speed from here.
+        grant->revoked = true;
+        copy_scale = ctx_.memory->pressure_bw_scale(1.0);
+        io_scale = ctx_.memory->bw_scale_for(
+            1.0, ctx_.rank->machine().config().nic_bandwidth);
+        if (ctx_.stats != nullptr) ctx_.stats->record_revocation();
+      }
       // Data-sieving read: one contiguous read covering the span.
       const Extent span = cover.bounds();
       Payload stage =
@@ -395,7 +568,11 @@ void TwoPhaseExchange::aggregator_read() {
       for (const SourceSweep& sw : sweeps) {
         if (sw.clip.empty()) continue;
         const std::uint64_t n = sw.clip.total_bytes();
-        charge_copy(my_node(), n, lease.bw_scale());  // pack
+        charge_copy(my_node(), n, copy_scale);  // pack
+        if (grant != nullptr && (grant->spilled || grant->revoked) &&
+            ctx_.stats != nullptr) {
+          ctx_.stats->record_spilled_bytes(n);
+        }
         if (xplan_.real_data) {
           tmp.resize(n);
           std::uint64_t off = 0;
@@ -426,9 +603,12 @@ void TwoPhaseExchange::client_recv_data() {
   PieceCursor cursor(plan_.extents);
   std::vector<std::byte> tmp;   // scatter staging, reused across windows
   std::vector<Piece> pieces;    // window pieces, reused across windows
-  for (const int di : client_domains_) {
+  for (std::size_t ci = 0; ci < client_domains_.size(); ++ci) {
+    const int di = client_domains_[ci];
     const FileDomain& d = xplan_.domains[static_cast<std::size_t>(di)];
-    for (Extent w{}; next_window(d, &w);) {
+    const std::uint64_t win =
+        degraded_ ? client_window_[ci] : d.buffer_bytes;
+    for (Extent w{}; next_window(d.extent, win, &w);) {
       cursor.advance(w, &pieces);
       if (pieces.empty()) continue;
       std::uint64_t total = 0;
@@ -459,6 +639,18 @@ void TwoPhaseExchange::write() {
   }
   send_extent_lists();
   recv_extent_lists();
+  if (degraded_) {
+    // Degradation ladder + window-size negotiation: aggregators settle
+    // their (possibly shrunk) buffers and announce the final window size
+    // before any data moves, so both sides window identically. The
+    // negotiation closes with an exact time alignment: retry backoffs
+    // then delay the collective by the slowest ladder instead of
+    // staggering the data phase, which keeps bandwidth monotone in the
+    // fault rate.
+    negotiate_buffers();
+    recv_window_sizes();
+    close_negotiation();
+  }
   client_send_data();
   aggregator_write();
 }
@@ -469,8 +661,30 @@ void TwoPhaseExchange::read() {
   }
   send_extent_lists();
   recv_extent_lists();
+  if (degraded_) {
+    negotiate_buffers();
+    recv_window_sizes();
+    close_negotiation();
+  }
   aggregator_read();
   client_recv_data();
+}
+
+void TwoPhaseExchange::close_negotiation() {
+  // A plain barrier is not enough: its per-rank exit times depend on who
+  // arrived last, and shared resources serve in request order, so even a
+  // µs exit skew can reorder downstream requests and swing the makespan
+  // by far more than the fault penalty itself. Instead every rank resumes
+  // at exactly max(arrival) + slack — one backed-off ladder then delays
+  // the whole collective by precisely its own cost.
+  actor().sync();
+  const double t = ctx_.comm->allreduce_max(actor().now());
+  actor().advance_to(
+      std::max(actor().now(), t + kNegotiationCloseSlack));
+}
+
+void TwoPhaseExchange::fallback_sync() {
+  if (degraded_) close_negotiation();
 }
 
 }  // namespace mcio::io

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <utility>
 #include <vector>
 
@@ -44,6 +45,11 @@ struct ExchangePlan {
   bool real_data = true;
   /// Number of aggregation groups (metrics only; 1 for the baseline).
   int num_groups = 1;
+  /// Ranks degraded to independent I/O (ascending): the last rung of the
+  /// fault-degradation ladder. Their rank_bounds entries are empty — they
+  /// take no part in the shuffle — and the owning driver performs their
+  /// I/O outside the exchange.
+  std::vector<int> independent_ranks;
 
   void validate(int comm_size) const;
 };
@@ -56,6 +62,11 @@ class TwoPhaseExchange {
 
   void write();
   void read();
+
+  /// The degraded protocol ends buffer negotiation with a barrier (see
+  /// write()); ranks that skip the exchange for independent-I/O fallback
+  /// must still participate, and call this instead of write()/read().
+  void fallback_sync();
 
  private:
   /// Advancing cursor over the local plan's extents; windows must be
@@ -89,13 +100,38 @@ class TwoPhaseExchange {
     util::ExtentList clip;
   };
 
+  /// Outcome of the degradation ladder for one owned domain's aggregation
+  /// buffer (fault-injected runs only). The ladder settles the *terms* of
+  /// the buffer at negotiation time; the lease itself is taken while the
+  /// domain is processed, so memory accounting matches the fault-free
+  /// protocol (one domain's buffer held at a time, not all at once).
+  struct BufferGrant {
+    /// Actual per-window buffer bytes (≤ the planned buffer after
+    /// shrinking).
+    std::uint64_t window_bytes = 0;
+    /// Virtual seconds after processing starts at which the backing
+    /// disappears; infinity = never.
+    double revoke_after = std::numeric_limits<double>::infinity();
+    bool spilled = false;  ///< ladder bottomed out: swap-backed buffer
+    bool revoked = false;  ///< revocation already observed
+  };
+
   // Phase helpers.
   void send_extent_lists();
   void recv_extent_lists();
+  void negotiate_buffers();
+  void recv_window_sizes();
+  void close_negotiation();
   void client_send_data();
   void aggregator_write();
   void aggregator_read();
   void client_recv_data();
+
+  /// Runs the degradation ladder for one aggregation buffer: fault-aware
+  /// lease attempts with exponential backoff in virtual time, then
+  /// shrink-and-retry, then a forced swap-backed spill lease. `site`
+  /// keys the fault schedule (the domain's file offset).
+  BufferGrant acquire_buffer(std::uint64_t want, std::uint64_t site);
 
   int my_rank() const;
   int my_node() const;
@@ -113,6 +149,18 @@ class TwoPhaseExchange {
   std::vector<DomainWork> owned_;
   /// Domain indices whose extent intersects this rank's bounds, ascending.
   std::vector<int> client_domains_;
+
+  /// Fault-injected run: aggregation buffers go through the degradation
+  /// ladder and their final window sizes are negotiated with the clients
+  /// before data moves. False (the exact legacy protocol) when no
+  /// FaultPlan is attached.
+  bool degraded_ = false;
+  int tag_wsize_ = 0;
+  /// Ladder outcome per owned domain (parallel to owned_).
+  std::vector<BufferGrant> grants_;
+  /// Negotiated window bytes per client domain (parallel to
+  /// client_domains_).
+  std::vector<std::uint64_t> client_window_;
 };
 
 }  // namespace mcio::io

@@ -18,6 +18,16 @@ struct Hints {
   bool data_sieving_writes = true;
   /// Max gap (bytes) bridged by a data-sieving read in independent I/O.
   std::uint64_t ds_max_gap = 256ull << 10;
+
+  // --- graceful degradation under memory faults (node::FaultPlan) ---
+  /// Lease retries (exponential backoff in virtual time) before the
+  /// ladder shrinks the aggregation buffer.
+  int fault_max_retries = 4;
+  /// First retry backoff in virtual seconds; doubles per retry.
+  double fault_backoff_s = 1e-3;
+  /// The ladder never shrinks an aggregation buffer below this; once at
+  /// the floor it spills (forced overcommitted lease, swap speed).
+  std::uint64_t fault_shrink_floor = 1ull << 20;
 };
 
 }  // namespace mcio::io

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <set>
 
+#include "io/independent.h"
 #include "util/check.h"
 
 namespace mcio::io {
@@ -19,6 +20,16 @@ struct BoundsMsg {
 
 std::uint64_t round_up(std::uint64_t v, std::uint64_t unit) {
   return unit == 0 ? v : (v + unit - 1) / unit * unit;
+}
+
+/// Last rung of the degradation ladder for the non-memory-aware baseline:
+/// with every node exhausted there is nowhere to aggregate, so the whole
+/// collective degrades to independent I/O (every rank agrees — the fault
+/// plan is shared). Partial exhaustion keeps the fixed aggregator map and
+/// lets the exchange's lease ladder absorb the faults.
+bool all_nodes_exhausted(const CollContext& ctx) {
+  const node::FaultPlan* fp = ctx.memory->fault_plan();
+  return fp != nullptr && fp->num_exhausted() == fp->num_nodes();
 }
 
 }  // namespace
@@ -84,12 +95,22 @@ ExchangePlan TwoPhaseDriver::build_plan(CollContext& ctx,
 
 void TwoPhaseDriver::write_all(CollContext& ctx, const AccessPlan& plan) {
   plan.validate();
+  if (all_nodes_exhausted(ctx)) {
+    if (ctx.stats != nullptr) ctx.stats->record_fallback(plan.total_bytes());
+    independent_write(ctx, plan);
+    return;
+  }
   TwoPhaseExchange exchange(ctx, plan, build_plan(ctx, plan));
   exchange.write();
 }
 
 void TwoPhaseDriver::read_all(CollContext& ctx, const AccessPlan& plan) {
   plan.validate();
+  if (all_nodes_exhausted(ctx)) {
+    if (ctx.stats != nullptr) ctx.stats->record_fallback(plan.total_bytes());
+    independent_read(ctx, plan);
+    return;
+  }
   TwoPhaseExchange exchange(ctx, plan, build_plan(ctx, plan));
   exchange.read();
 }

@@ -15,6 +15,25 @@
 
 namespace mcio::metrics {
 
+/// Counters for the graceful-degradation ladder (retry → remerge →
+/// shrink/spill → independent fallback) driven by node::FaultPlan. All
+/// zero when no fault plan is attached.
+struct DegradationStats {
+  std::uint64_t lease_denials = 0;   ///< fault-plan denied lease attempts
+  std::uint64_t lease_retries = 0;   ///< backed-off re-attempts
+  double backoff_s = 0.0;            ///< virtual seconds spent backing off
+  std::uint64_t grant_delays = 0;    ///< transient-delay grants
+  double grant_delay_s = 0.0;        ///< virtual seconds of grant delay
+  std::uint64_t revocations = 0;     ///< leases revoked mid-collective
+  std::uint64_t buffer_shrinks = 0;  ///< ladder halvings of a buffer
+  std::uint64_t spills = 0;          ///< forced overcommitted (swap) leases
+  std::uint64_t spilled_bytes = 0;   ///< bytes moved through swap backing
+  std::uint64_t plan_remerges = 0;   ///< domains remerged away at plan time
+  std::uint64_t exhausted_nodes = 0; ///< data-bearing nodes exhausted
+  std::uint64_t fallback_ranks = 0;  ///< ranks degraded to independent I/O
+  std::uint64_t fallback_bytes = 0;  ///< bytes moved by those ranks
+};
+
 /// Per-aggregator record.
 struct AggregatorRecord {
   int rank = -1;
@@ -35,6 +54,33 @@ class CollectiveStats {
   void record_io(std::uint64_t bytes) { io_bytes_ += bytes; }
   void set_groups(int n) { num_groups_ = n; }
   void set_elapsed(sim::SimTime t) { elapsed_ = t; }
+
+  // Degradation-ladder events (see DegradationStats).
+  void record_denial() { ++degradation_.lease_denials; }
+  void record_retry(double backoff_s) {
+    ++degradation_.lease_retries;
+    degradation_.backoff_s += backoff_s;
+  }
+  void record_grant_delay(double delay_s) {
+    ++degradation_.grant_delays;
+    degradation_.grant_delay_s += delay_s;
+  }
+  void record_revocation() { ++degradation_.revocations; }
+  void record_shrink() { ++degradation_.buffer_shrinks; }
+  void record_spill() { ++degradation_.spills; }
+  void record_spilled_bytes(std::uint64_t bytes) {
+    degradation_.spilled_bytes += bytes;
+  }
+  void record_plan_degradation(std::uint64_t remerges,
+                               std::uint64_t exhausted_nodes) {
+    degradation_.plan_remerges += remerges;
+    degradation_.exhausted_nodes += exhausted_nodes;
+  }
+  void record_fallback(std::uint64_t bytes) {
+    ++degradation_.fallback_ranks;
+    degradation_.fallback_bytes += bytes;
+  }
+  const DegradationStats& degradation() const { return degradation_; }
 
   const std::vector<AggregatorRecord>& aggregators() const {
     return aggregators_;
@@ -71,6 +117,7 @@ class CollectiveStats {
   std::uint64_t inter_node_bytes_ = 0;
   std::uint64_t rmw_bytes_ = 0;
   std::uint64_t io_bytes_ = 0;
+  DegradationStats degradation_;
   int num_groups_ = 1;
   sim::SimTime elapsed_ = 0.0;
 };

@@ -1,0 +1,111 @@
+#include "node/fault.h"
+
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace mcio::node {
+
+namespace {
+
+// Salts separating the decision streams, so e.g. raising the denial rate
+// never perturbs which grants get revoked.
+constexpr std::uint64_t kSaltDeny = 0x64656e79ULL;     // "deny"
+constexpr std::uint64_t kSaltRevoke = 0x7265766bULL;   // "revk"
+constexpr std::uint64_t kSaltDelay = 0x646c6179ULL;    // "dlay"
+constexpr std::uint64_t kSaltExhaust = 0x65786873ULL;  // "exhs"
+constexpr std::uint64_t kSaltMagnitude = 0x6d61676eULL;
+
+/// Inverse-CDF exponential draw with mean `mean` from a uniform in [0,1).
+sim::SimTime exponential(double u, sim::SimTime mean) {
+  return -mean * std::log1p(-u);
+}
+
+void check_rate(double rate) {
+  MCIO_CHECK_GE(rate, 0.0);
+  MCIO_CHECK_LE(rate, 1.0);
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(int num_nodes, const FaultConfig& config)
+    : config_(config),
+      attempts_(static_cast<std::size_t>(num_nodes), 0),
+      exhausted_(static_cast<std::size_t>(num_nodes), 0) {
+  MCIO_CHECK_GT(num_nodes, 0);
+  check_rate(config.denial_rate);
+  check_rate(config.revoke_rate);
+  check_rate(config.delay_rate);
+  check_rate(config.exhaust_rate);
+  MCIO_CHECK_GE(config.delay_mean_s, 0.0);
+  MCIO_CHECK_GE(config.revoke_after_mean_s, 0.0);
+  for (std::size_t n = 0; n < exhausted_.size(); ++n) {
+    exhausted_[n] =
+        draw(kSaltExhaust, n, 0, 0, 0) < config.exhaust_rate ? 1 : 0;
+  }
+}
+
+bool FaultPlan::exhausted(int node) const {
+  const auto i = static_cast<std::size_t>(node);
+  MCIO_CHECK_LT(i, exhausted_.size());
+  return exhausted_[i] != 0;
+}
+
+int FaultPlan::num_exhausted() const {
+  int n = 0;
+  for (const std::uint8_t e : exhausted_) n += e;
+  return n;
+}
+
+LeaseFault FaultPlan::lease_fault(int node, std::uint64_t site,
+                                  std::uint64_t attempt) {
+  const auto i = static_cast<std::size_t>(node);
+  MCIO_CHECK_LT(i, attempts_.size());
+  ++attempts_[i];
+  auto& seq_counter = acquisitions_[{node, site}];
+  if (attempt == 0) ++seq_counter;
+  MCIO_CHECK_GT(seq_counter, 0u);  // attempt > 0 before any attempt 0
+  const std::uint64_t seq = seq_counter - 1;
+  LeaseFault f;
+  if (exhausted_[i] != 0) {
+    f.deny = true;
+    return f;
+  }
+  if (draw(kSaltDeny, i, site, seq, attempt) < config_.denial_rate) {
+    f.deny = true;
+    return f;
+  }
+  if (draw(kSaltDelay, i, site, seq, attempt) < config_.delay_rate) {
+    f.delay_s =
+        exponential(draw(kSaltDelay ^ kSaltMagnitude, i, site, seq, attempt),
+                    config_.delay_mean_s);
+  }
+  if (draw(kSaltRevoke, i, site, seq, attempt) < config_.revoke_rate) {
+    f.revoke_after_s = exponential(
+        draw(kSaltRevoke ^ kSaltMagnitude, i, site, seq, attempt),
+        config_.revoke_after_mean_s);
+  }
+  return f;
+}
+
+std::uint64_t FaultPlan::attempts(int node) const {
+  return attempts_.at(static_cast<std::size_t>(node));
+}
+
+double FaultPlan::draw(std::uint64_t salt, std::uint64_t node,
+                       std::uint64_t site, std::uint64_t seq,
+                       std::uint64_t attempt) const {
+  // Each word is folded in through a full splitmix64 avalanche of the
+  // *returned* hash (splitmix64 only bumps its state argument by the
+  // golden gamma — chaining the states would fold the words in nearly
+  // raw, and small (node, attempt) tuples then collide).
+  std::uint64_t h = config_.seed;
+  for (const std::uint64_t w : {salt, node, site, seq, attempt}) {
+    std::uint64_t t = w ^ h;
+    h = util::splitmix64(t);
+  }
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace mcio::node

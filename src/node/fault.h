@@ -1,0 +1,108 @@
+// Memory-pressure fault injection (seeded, per-node schedules).
+//
+// The paper's premise is that extreme-scale nodes run out of aggregation
+// memory at unpredictable times; the base MemoryManager only ever *slows*
+// an overcommitted buffer. A FaultPlan adds the failure modes a real
+// memory-constrained aggregator hits mid-collective: lease denials (the
+// node cannot back a new aggregation buffer right now), transient grant
+// delays (the allocation succeeds but only after reclaim), mid-collective
+// revocations (a granted buffer loses its backing and pages from swap for
+// the rest of the operation), and whole-node exhaustion (the node's memory
+// draw is gone for the entire experiment, so planning must route around
+// it).
+//
+// Every decision is a pure hash of (seed, node, site, seq, attempt), not a
+// stateful RNG stream. `site` identifies the acquisition site (the file
+// domain's offset), `seq` counts acquisitions at that site (bumped once
+// per ladder run, never per retry) and `attempt` counts retries inside one
+// ladder run. Two properties follow. First, runs are bit-for-bit
+// reproducible for a seed regardless of how many draws each degradation
+// ladder consumes. Second, the set of denied attempts is *nested* across
+// rates — raising the denial rate only adds faults, and because retries
+// at one site never shift any other site's schedule (no shared running
+// counter), sweeps (bench/ablation_faults) degrade monotonically instead
+// of jumping between unrelated fault schedules.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace mcio::node {
+
+struct FaultConfig {
+  /// Probability that one lease attempt is denied.
+  double denial_rate = 0.0;
+  /// Probability that a granted lease is later revoked mid-collective.
+  double revoke_rate = 0.0;
+  /// Probability that a grant arrives only after a transient delay.
+  double delay_rate = 0.0;
+  /// Probability that a node's memory draw is exhausted for the whole
+  /// experiment (drawn once per node at plan construction).
+  double exhaust_rate = 0.0;
+  /// Mean of the exponentially distributed transient grant delay.
+  sim::SimTime delay_mean_s = 1e-3;
+  /// Mean of the exponentially distributed grant-to-revocation time.
+  sim::SimTime revoke_after_mean_s = 10e-3;
+  std::uint64_t seed = 20120512;
+
+  /// True when any fault mode can fire.
+  bool any() const {
+    return denial_rate > 0.0 || revoke_rate > 0.0 || delay_rate > 0.0 ||
+           exhaust_rate > 0.0;
+  }
+};
+
+/// Outcome of one scheduled lease attempt.
+struct LeaseFault {
+  bool deny = false;
+  /// Grant delay in virtual seconds (0 = immediate).
+  sim::SimTime delay_s = 0.0;
+  /// Virtual seconds after the grant at which the lease loses its
+  /// backing; infinity = never revoked.
+  sim::SimTime revoke_after_s = std::numeric_limits<sim::SimTime>::infinity();
+};
+
+class FaultPlan {
+ public:
+  FaultPlan(int num_nodes, const FaultConfig& config);
+
+  const FaultConfig& config() const { return config_; }
+  int num_nodes() const { return static_cast<int>(exhausted_.size()); }
+
+  /// Whether the node's memory draw is exhausted for the whole experiment.
+  bool exhausted(int node) const;
+  int num_exhausted() const;
+
+  /// The fault decision for a lease attempt on `node`. `site` names the
+  /// acquisition site (callers use the file-domain offset; 0 works for
+  /// single-site callers) and `attempt` the retry index within the
+  /// current ladder run. attempt == 0 opens a new acquisition at the
+  /// site (advancing its sequence number); attempt > 0 re-draws within
+  /// the open one. Exhausted nodes always deny.
+  LeaseFault lease_fault(int node, std::uint64_t site,
+                         std::uint64_t attempt);
+
+  /// Total lease attempts consumed on `node` (for tests / reports; does
+  /// not influence any draw).
+  std::uint64_t attempts(int node) const;
+
+ private:
+  /// Deterministic uniform draw in [0, 1) over the given key words.
+  double draw(std::uint64_t salt, std::uint64_t node, std::uint64_t site,
+              std::uint64_t seq, std::uint64_t attempt) const;
+
+  FaultConfig config_;
+  std::vector<std::uint64_t> attempts_;
+  std::vector<std::uint8_t> exhausted_;
+  /// Acquisitions opened per (node, site); the per-site sequence number
+  /// advances once per ladder run regardless of how many retries it
+  /// consumes, keeping schedules rate-invariant.
+  std::map<std::pair<int, std::uint64_t>, std::uint64_t> acquisitions_;
+};
+
+}  // namespace mcio::node

@@ -1,14 +1,16 @@
 #include "node/memory.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "util/check.h"
 
 namespace mcio::node {
 
-Lease::Lease(MemoryManager* mgr, int node, std::uint64_t bytes,
-             double pressure, double bw_scale)
+Lease::Lease(MemoryManager* mgr, std::weak_ptr<const bool> alive, int node,
+             std::uint64_t bytes, double pressure, double bw_scale)
     : mgr_(mgr),
+      alive_(std::move(alive)),
       node_(node),
       bytes_(bytes),
       pressure_(pressure),
@@ -17,25 +19,29 @@ Lease::Lease(MemoryManager* mgr, int node, std::uint64_t bytes,
 Lease::Lease(Lease&& other) noexcept { *this = std::move(other); }
 
 Lease& Lease::operator=(Lease&& other) noexcept {
-  if (this != &other) {
-    release();
-    mgr_ = other.mgr_;
-    node_ = other.node_;
-    bytes_ = other.bytes_;
-    pressure_ = other.pressure_;
-    bw_scale_ = other.bw_scale_;
-    other.mgr_ = nullptr;
-  }
+  if (this == &other) return *this;  // self-move: keep the held lease
+  release();                         // never leak the currently held lease
+  mgr_ = std::exchange(other.mgr_, nullptr);
+  alive_ = std::move(other.alive_);
+  node_ = other.node_;
+  bytes_ = other.bytes_;
+  pressure_ = other.pressure_;
+  bw_scale_ = other.bw_scale_;
+  revoke_after_ = other.revoke_after_;
   return *this;
 }
 
 Lease::~Lease() { release(); }
 
 void Lease::release() {
-  if (mgr_ != nullptr) {
-    mgr_->release(node_, bytes_);
-    mgr_ = nullptr;
+  MemoryManager* mgr = std::exchange(mgr_, nullptr);
+  if (mgr == nullptr) return;
+  // The owning manager may already be gone (leases are movable and can
+  // outlive it); only return the bytes while its liveness token holds.
+  if (const auto alive = alive_.lock(); alive && *alive) {
+    mgr->release(node_, bytes_);
   }
+  alive_.reset();
 }
 
 MemoryManager::MemoryManager(const sim::ClusterConfig& config,
@@ -58,6 +64,8 @@ MemoryManager::MemoryManager(const sim::ClusterConfig& config,
   }
 }
 
+MemoryManager::~MemoryManager() { *alive_ = false; }
+
 MemoryManager MemoryManager::uniform(const sim::ClusterConfig& config,
                                      std::uint64_t available_per_node) {
   MemoryVariance no_variance;
@@ -69,6 +77,7 @@ MemoryManager MemoryManager::uniform(const sim::ClusterConfig& config,
 std::uint64_t MemoryManager::available(int node) const {
   const auto i = static_cast<std::size_t>(node);
   MCIO_CHECK_LT(i, capacity_.size());
+  if (faults_ != nullptr && faults_->exhausted(node)) return 0;
   return leased_[i] >= capacity_[i] ? 0 : capacity_[i] - leased_[i];
 }
 
@@ -78,7 +87,7 @@ std::uint64_t MemoryManager::capacity(int node) const {
   return capacity_[i];
 }
 
-Lease MemoryManager::lease(int node, std::uint64_t bytes) {
+Lease MemoryManager::grant(int node, std::uint64_t bytes) {
   const auto i = static_cast<std::size_t>(node);
   MCIO_CHECK_LT(i, capacity_.size());
   const std::uint64_t avail = available(node);
@@ -89,7 +98,30 @@ Lease MemoryManager::lease(int node, std::uint64_t bytes) {
   }
   leased_[i] += bytes;
   high_water_[i] = std::max(high_water_[i], leased_[i]);
-  return Lease(this, node, bytes, pressure, pressure_bw_scale(pressure));
+  return Lease(this, alive_, node, bytes, pressure,
+               pressure_bw_scale(pressure));
+}
+
+Lease MemoryManager::lease(int node, std::uint64_t bytes) {
+  return grant(node, bytes);
+}
+
+LeaseAttempt MemoryManager::try_lease(int node, std::uint64_t bytes,
+                                      std::uint64_t site,
+                                      std::uint64_t attempt) {
+  LeaseAttempt att;
+  if (faults_ == nullptr) {
+    att.granted = true;
+    att.lease = grant(node, bytes);
+    return att;
+  }
+  const LeaseFault f = faults_->lease_fault(node, site, attempt);
+  if (f.deny) return att;
+  att.granted = true;
+  att.delay_s = f.delay_s;
+  att.lease = grant(node, bytes);
+  att.lease.revoke_after_ = f.revoke_after_s;
+  return att;
 }
 
 std::uint64_t MemoryManager::high_water(int node) const {

@@ -8,12 +8,19 @@
 // consumption; a lease that overcommits the node gets a *pressure*
 // coefficient that slows every copy and transfer through that buffer (the
 // paging behaviour a real overcommitted aggregator exhibits).
+//
+// A node::FaultPlan may additionally be attached, turning the manager
+// fault-aware: try_lease() then consults the plan's per-node schedule and
+// can deny the grant, delay it, or arm a mid-collective revocation. With
+// no plan attached every code path is identical to the fault-free build.
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
+#include "node/fault.h"
 #include "sim/topology.h"
 #include "util/rng.h"
 
@@ -30,7 +37,9 @@ struct MemoryVariance {
 
 class MemoryManager;
 
-/// RAII lease of aggregation memory on one node.
+/// RAII lease of aggregation memory on one node. A Lease may outlive its
+/// MemoryManager: release() after the manager is gone is a no-op (the
+/// liveness token below), not a use-after-free.
 class Lease {
  public:
   Lease() = default;
@@ -48,20 +57,36 @@ class Lease {
   /// Bandwidth scale (≤ 1) for copies/transfers through this buffer,
   /// blending fast-path and swap bandwidth by the pressure fraction.
   double bw_scale() const { return bw_scale_; }
+  /// Virtual seconds after the grant at which the fault plan revokes this
+  /// lease's backing; infinity = never.
+  double revoke_after() const { return revoke_after_; }
 
   void release();
   bool active() const { return mgr_ != nullptr; }
 
  private:
   friend class MemoryManager;
-  Lease(MemoryManager* mgr, int node, std::uint64_t bytes, double pressure,
-        double bw_scale);
+  Lease(MemoryManager* mgr, std::weak_ptr<const bool> alive, int node,
+        std::uint64_t bytes, double pressure, double bw_scale);
 
   MemoryManager* mgr_ = nullptr;
+  /// Tracks the owning manager's lifetime; expired or false = manager
+  /// destroyed, release() must not touch it.
+  std::weak_ptr<const bool> alive_;
   int node_ = -1;
   std::uint64_t bytes_ = 0;
   double pressure_ = 0.0;
   double bw_scale_ = 1.0;
+  double revoke_after_ = std::numeric_limits<double>::infinity();
+};
+
+/// Outcome of a fault-aware lease attempt.
+struct LeaseAttempt {
+  bool granted = false;
+  /// Transient grant delay in virtual seconds, charged by the caller
+  /// before the lease is used (0 when no fault plan is attached).
+  double delay_s = 0.0;
+  Lease lease;  ///< valid only when granted
 };
 
 class MemoryManager {
@@ -73,6 +98,13 @@ class MemoryManager {
   MemoryManager(const sim::ClusterConfig& config,
                 std::uint64_t mean_available, MemoryVariance variance,
                 std::uint64_t seed);
+  ~MemoryManager();
+
+  // Outstanding leases hold a pointer to this object, so it is pinned.
+  MemoryManager(const MemoryManager&) = delete;
+  MemoryManager& operator=(const MemoryManager&) = delete;
+  MemoryManager(MemoryManager&&) = delete;
+  MemoryManager& operator=(MemoryManager&&) = delete;
 
   /// Uniform availability (no variance) — baseline configuration helper.
   static MemoryManager uniform(const sim::ClusterConfig& config,
@@ -80,13 +112,31 @@ class MemoryManager {
 
   int num_nodes() const { return static_cast<int>(capacity_.size()); }
 
+  /// Attaches (or detaches, with nullptr) a fault-injection plan. Not
+  /// owned; must outlive the attached period.
+  void set_fault_plan(FaultPlan* plan) { faults_ = plan; }
+  const FaultPlan* fault_plan() const { return faults_; }
+  bool faults_enabled() const { return faults_ != nullptr; }
+
   /// Memory currently available for new aggregation buffers on `node`.
+  /// Nodes the fault plan marks exhausted report 0, so planning naturally
+  /// routes aggregation away from them.
   std::uint64_t available(int node) const;
   /// The node's drawn capacity (before any leases).
   std::uint64_t capacity(int node) const;
 
   /// Grants `bytes` on `node` unconditionally; overcommit yields pressure.
+  /// Bypasses the fault plan — this is the spill path (swap always
+  /// "succeeds", just slowly).
   Lease lease(int node, std::uint64_t bytes);
+
+  /// Fault-aware grant: consults the fault plan's schedule for `node`.
+  /// `site` names the acquisition site (callers use the file-domain
+  /// offset) and `attempt` the retry index within one degradation-ladder
+  /// run — see FaultPlan::lease_fault. Without a plan this is exactly
+  /// lease(), always granted immediately.
+  LeaseAttempt try_lease(int node, std::uint64_t bytes,
+                         std::uint64_t site = 0, std::uint64_t attempt = 0);
 
   /// High-water mark of leased bytes per node (for reports).
   std::uint64_t high_water(int node) const;
@@ -103,11 +153,15 @@ class MemoryManager {
  private:
   friend class Lease;
   void release(int node, std::uint64_t bytes);
+  Lease grant(int node, std::uint64_t bytes);
 
   sim::ClusterConfig config_;
   std::vector<std::uint64_t> capacity_;
   std::vector<std::uint64_t> leased_;
   std::vector<std::uint64_t> high_water_;
+  FaultPlan* faults_ = nullptr;
+  /// Liveness token shared with leases; flipped false by the destructor.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };
 
 }  // namespace mcio::node

@@ -57,11 +57,19 @@ Histogram::Histogram(double lo, double hi, std::size_t buckets)
 }
 
 void Histogram::add(double x) {
-  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
-  auto idx = static_cast<std::ptrdiff_t>((x - lo_) / width);
-  idx = std::clamp<std::ptrdiff_t>(
-      idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
-  ++counts_[static_cast<std::size_t>(idx)];
+  // Clamp into the edge buckets *before* any float→integer conversion:
+  // x == hi_ lands in the last bucket (the old arithmetic pushed it one
+  // past the end), and far-out or non-finite samples never reach a cast
+  // whose value would be unrepresentable (undefined behaviour).
+  std::size_t idx = 0;
+  if (x >= hi_) {
+    idx = counts_.size() - 1;
+  } else if (x > lo_) {
+    const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+    idx = std::min(counts_.size() - 1,
+                   static_cast<std::size_t>((x - lo_) / width));
+  }
+  ++counts_[idx];
   ++total_;
 }
 

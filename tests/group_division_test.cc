@@ -148,5 +148,94 @@ TEST(GroupDivision, RanksWithoutDataExcluded) {
   EXPECT_EQ(groups[0].ranks, (std::vector<int>{0, 2}));
 }
 
+TEST(GroupDivision, ZeroMsgGroupMeansNoDivision) {
+  // msg_group == 0 must yield exactly one group in both code paths, not
+  // crash or divide by zero.
+  GroupDivisionInput serial;
+  for (int r = 0; r < 6; ++r) {
+    serial.rank_bounds.push_back(
+        Extent{static_cast<std::uint64_t>(r) * 100, 100});
+    serial.rank_nodes.push_back(r / 2);
+  }
+  serial.msg_group = 0;
+  auto groups = divide_groups(serial);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].region, (Extent{0, 600}));
+  EXPECT_EQ(groups[0].ranks.size(), 6u);
+
+  GroupDivisionInput inter;
+  for (int r = 0; r < 6; ++r) {
+    inter.rank_bounds.push_back(Extent{static_cast<std::uint64_t>(r), 600});
+    inter.rank_nodes.push_back(r / 2);
+  }
+  inter.msg_group = 0;
+  groups = divide_groups(inter);
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].ranks.size(), 6u);
+}
+
+TEST(GroupDivision, InterleavedGroupCountCappedAtNodes) {
+  // Per-node data far above Msg_group: the chunk count must be clamped
+  // to the number of nodes, never producing empty or unstaffed groups.
+  GroupDivisionInput in;
+  for (int r = 0; r < 4; ++r) {
+    in.rank_bounds.push_back(Extent{static_cast<std::uint64_t>(r), 100000});
+    in.rank_nodes.push_back(r / 2);  // 2 nodes
+  }
+  in.msg_group = 64;  // would ask for ~1500 groups
+  const auto groups = divide_groups(in);
+  ASSERT_EQ(groups.size(), 2u);
+  for (const auto& g : groups) {
+    EXPECT_FALSE(g.region.empty());
+    EXPECT_FALSE(g.ranks.empty());
+  }
+}
+
+TEST(GroupDivision, SerialCutNeverSplitsNonContiguousNode) {
+  // Node 0's ranks are NOT adjacent in offset order (0, 2, 4); a cut
+  // after any prefix containing an open node would split the node across
+  // groups. Only the closed-prefix positions are legal boundaries.
+  GroupDivisionInput in;
+  in.rank_bounds = {{0, 100}, {100, 100}, {200, 100},
+                    {300, 100}, {400, 100}, {500, 100}};
+  in.rank_nodes = {0, 1, 0, 1, 0, 1};
+  in.msg_group = 150;  // reached long before node 0 closes at rank 4
+  const auto groups = divide_groups(in);
+  for (const auto& g : groups) {
+    for (const int r : g.ranks) {
+      const int node = in.rank_nodes[static_cast<std::size_t>(r)];
+      for (const auto& other : groups) {
+        if (&other == &g) continue;
+        for (const int o : other.ranks) {
+          EXPECT_NE(in.rank_nodes[static_cast<std::size_t>(o)], node)
+              << "node " << node << " split across groups";
+        }
+      }
+    }
+  }
+  // With this layout some node stays open at every interior position
+  // (node 0 until 4, node 1 until 5), so the only legal outcome is a
+  // single group despite Msg_group being reached early.
+  ASSERT_EQ(groups.size(), 1u);
+  EXPECT_EQ(groups[0].ranks.size(), 6u);
+}
+
+TEST(GroupDivision, SerialCutAtFirstClosedPrefix) {
+  // Node 0 closes at position 2 (ranks 0, 2 interleave with node 1's
+  // rank 1), node 1 closes at 3: the first legal cut is after position
+  // 3, not after position 1 where Msg_group is first reached.
+  GroupDivisionInput in;
+  in.rank_bounds = {{0, 100}, {100, 100}, {200, 100},
+                    {300, 100}, {400, 100}, {500, 100}};
+  in.rank_nodes = {0, 1, 0, 1, 2, 2};
+  in.msg_group = 150;
+  const auto groups = divide_groups(in);
+  ASSERT_EQ(groups.size(), 2u);
+  EXPECT_EQ(groups[0].ranks, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(groups[1].ranks, (std::vector<int>{4, 5}));
+  EXPECT_EQ(groups[0].region, (Extent{0, 400}));
+  EXPECT_EQ(groups[1].region, (Extent{400, 200}));
+}
+
 }  // namespace
 }  // namespace mcio::core

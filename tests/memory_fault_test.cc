@@ -1,0 +1,281 @@
+// Memory-pressure fault injection and graceful degradation: Lease
+// lifetime safety, FaultPlan schedule properties (determinism, nested
+// fault sets across rates, exhaustion), and faulted collective round
+// trips — the shrink/spill ladder and the independent-I/O fallback must
+// still move every byte correctly, bit-identically across repeat runs.
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "node/fault.h"
+#include "node/memory.h"
+#include "testing.h"
+#include "workloads/ior.h"
+
+namespace mcio {
+namespace {
+
+using testing::MiniCluster;
+using testing::MiniClusterOptions;
+
+sim::ClusterConfig small_cluster(int nodes) {
+  sim::ClusterConfig c;
+  c.num_nodes = nodes;
+  c.ranks_per_node = 2;
+  return c;
+}
+
+TEST(Lease, MoveTransfersOwnership) {
+  auto mgr = node::MemoryManager::uniform(small_cluster(2), 1 << 20);
+  node::Lease a = mgr.lease(0, 1000);
+  EXPECT_TRUE(a.active());
+  EXPECT_EQ(mgr.available(0), (1u << 20) - 1000);
+  node::Lease b = std::move(a);
+  EXPECT_FALSE(a.active());
+  EXPECT_TRUE(b.active());
+  // The move must not double-release: the bytes stay leased exactly once.
+  EXPECT_EQ(mgr.available(0), (1u << 20) - 1000);
+  b.release();
+  EXPECT_EQ(mgr.available(0), 1u << 20);
+  b.release();  // double release is a no-op
+  EXPECT_EQ(mgr.available(0), 1u << 20);
+}
+
+TEST(Lease, MoveAssignReleasesHeldLease) {
+  auto mgr = node::MemoryManager::uniform(small_cluster(2), 1 << 20);
+  node::Lease a = mgr.lease(0, 1000);
+  node::Lease b = mgr.lease(1, 2000);
+  b = std::move(a);  // b's old lease (node 1) must be returned
+  EXPECT_EQ(mgr.available(1), 1u << 20);
+  EXPECT_EQ(mgr.available(0), (1u << 20) - 1000);
+  EXPECT_EQ(b.node(), 0);
+  EXPECT_EQ(b.bytes(), 1000u);
+}
+
+TEST(Lease, SelfMoveKeepsLease) {
+  auto mgr = node::MemoryManager::uniform(small_cluster(1), 1 << 20);
+  node::Lease a = mgr.lease(0, 4096);
+  node::Lease& ref = a;  // dodge -Wself-move; the aliasing is the point
+  a = std::move(ref);
+  EXPECT_TRUE(a.active());
+  EXPECT_EQ(a.bytes(), 4096u);
+  EXPECT_EQ(mgr.available(0), (1u << 20) - 4096);
+  a.release();
+  EXPECT_EQ(mgr.available(0), 1u << 20);
+}
+
+TEST(Lease, SafeAfterManagerDestroyed) {
+  node::Lease survivor;
+  {
+    auto mgr = std::make_unique<node::MemoryManager>(
+        small_cluster(1), 1 << 20, node::MemoryVariance{0.0, 0}, 1);
+    survivor = mgr->lease(0, 1 << 10);
+    EXPECT_TRUE(survivor.active());
+  }
+  // The manager is gone; releasing (explicitly and via the destructor)
+  // must not touch it.
+  EXPECT_NO_THROW(survivor.release());
+  node::Lease second;
+  {
+    auto mgr = std::make_unique<node::MemoryManager>(
+        small_cluster(1), 1 << 20, node::MemoryVariance{0.0, 0}, 1);
+    second = mgr->lease(0, 1 << 10);
+  }
+  // `second` now dies with its manager already destroyed.
+}
+
+TEST(FaultPlan, DeterministicAcrossInstances) {
+  node::FaultConfig cfg;
+  cfg.denial_rate = 0.3;
+  cfg.delay_rate = 0.3;
+  cfg.revoke_rate = 0.3;
+  node::FaultPlan a(4, cfg);
+  node::FaultPlan b(4, cfg);
+  for (int node = 0; node < 4; ++node) {
+    for (std::uint64_t site = 0; site < 8; ++site) {
+      for (std::uint64_t attempt = 0; attempt < 3; ++attempt) {
+        const node::LeaseFault fa = a.lease_fault(node, site, attempt);
+        const node::LeaseFault fb = b.lease_fault(node, site, attempt);
+        EXPECT_EQ(fa.deny, fb.deny);
+        EXPECT_EQ(fa.delay_s, fb.delay_s);
+        EXPECT_EQ(fa.revoke_after_s, fb.revoke_after_s);
+      }
+    }
+  }
+  EXPECT_EQ(a.attempts(0), b.attempts(0));
+}
+
+TEST(FaultPlan, DenialSetsNestedAcrossRates) {
+  // Every denial at a lower rate must also fire at every higher rate
+  // (same seed): the property that makes fault sweeps monotone.
+  const std::vector<double> rates = {0.05, 0.2, 0.5, 0.9};
+  std::vector<std::vector<bool>> denied(rates.size());
+  for (std::size_t r = 0; r < rates.size(); ++r) {
+    node::FaultConfig cfg;
+    cfg.denial_rate = rates[r];
+    node::FaultPlan plan(4, cfg);
+    for (int node = 0; node < 4; ++node) {
+      for (std::uint64_t site = 0; site < 16; ++site) {
+        for (std::uint64_t attempt = 0; attempt < 4; ++attempt) {
+          denied[r].push_back(plan.lease_fault(node, site, attempt).deny);
+        }
+      }
+    }
+  }
+  std::size_t low_total = 0;
+  for (std::size_t r = 1; r < rates.size(); ++r) {
+    for (std::size_t i = 0; i < denied[r].size(); ++i) {
+      if (denied[r - 1][i]) EXPECT_TRUE(denied[r][i]);
+    }
+  }
+  for (const bool d : denied[0]) low_total += d ? 1 : 0;
+  EXPECT_GT(low_total, 0u);                       // the low rate fires…
+  std::size_t high_total = 0;
+  for (const bool d : denied.back()) high_total += d ? 1 : 0;
+  EXPECT_GT(high_total, low_total);               // …and the high rate more
+}
+
+TEST(FaultPlan, ExhaustedNodeAlwaysDenies) {
+  node::FaultConfig cfg;
+  cfg.exhaust_rate = 1.0;
+  node::FaultPlan plan(3, cfg);
+  EXPECT_EQ(plan.num_exhausted(), 3);
+  for (int node = 0; node < 3; ++node) {
+    EXPECT_TRUE(plan.exhausted(node));
+    EXPECT_TRUE(plan.lease_fault(node, 0, 0).deny);
+  }
+  auto mgr = node::MemoryManager::uniform(small_cluster(3), 1 << 20);
+  EXPECT_GT(mgr.available(0), 0u);
+  mgr.set_fault_plan(&plan);
+  EXPECT_EQ(mgr.available(0), 0u);  // exhausted nodes report nothing free
+  EXPECT_FALSE(mgr.try_lease(0, 1 << 10).granted);
+  mgr.set_fault_plan(nullptr);
+  EXPECT_GT(mgr.available(0), 0u);
+}
+
+TEST(MemoryManager, TryLeaseWithoutPlanIsPlainLease) {
+  auto mgr = node::MemoryManager::uniform(small_cluster(1), 1 << 20);
+  node::LeaseAttempt att = mgr.try_lease(0, 1 << 10);
+  EXPECT_TRUE(att.granted);
+  EXPECT_EQ(att.delay_s, 0.0);
+  EXPECT_TRUE(att.lease.active());
+  EXPECT_EQ(mgr.available(0), (1u << 20) - (1u << 10));
+}
+
+io::AccessPlan ior_factory(int rank, int nprocs,
+                           std::vector<std::byte>& storage) {
+  workloads::IorConfig cfg;
+  cfg.block_size = 64 << 10;
+  cfg.transfer_size = 8 << 10;
+  cfg.segments = 2;
+  cfg.interleaved = true;
+  storage.resize(workloads::ior_bytes_per_rank(cfg));
+  return workloads::ior_plan(rank, nprocs, cfg,
+                             util::Payload::of(storage));
+}
+
+/// Round trip with a fault plan attached; returns the collected stats of
+/// the write phase (the ladder counters this test cares about).
+void faulted_round_trip(const node::FaultConfig& cfg,
+                        io::CollectiveDriver& driver,
+                        const io::Hints& hints,
+                        metrics::CollectiveStats* stats) {
+  MiniCluster cluster;
+  node::FaultPlan plan(3, cfg);
+  cluster.memory().set_fault_plan(&plan);
+  round_trip(cluster, driver, cluster.total_ranks(), ior_factory,
+             /*seed=*/42, hints, stats);
+  cluster.memory().set_fault_plan(nullptr);
+}
+
+TEST(FaultedCollective, TotalDenialShrinksThenSpillsAndStaysCorrect) {
+  node::FaultConfig cfg;
+  cfg.denial_rate = 1.0;  // every attempt denied: the full ladder runs
+  io::Hints hints;
+  hints.fault_shrink_floor = 8 << 10;
+  metrics::CollectiveStats stats;
+  core::MccioDriver driver;
+  ASSERT_NO_THROW(faulted_round_trip(cfg, driver, hints, &stats));
+  const metrics::DegradationStats& d = stats.degradation();
+  EXPECT_GT(d.lease_denials, 0u);
+  EXPECT_GT(d.lease_retries, 0u);
+  EXPECT_GT(d.backoff_s, 0.0);
+  EXPECT_GT(d.buffer_shrinks, 0u);
+  EXPECT_GT(d.spills, 0u);
+  EXPECT_GT(d.spilled_bytes, 0u);
+}
+
+TEST(FaultedCollective, TwoPhaseSurvivesTotalDenial) {
+  node::FaultConfig cfg;
+  cfg.denial_rate = 1.0;
+  io::Hints hints;
+  hints.fault_shrink_floor = 8 << 10;
+  metrics::CollectiveStats stats;
+  io::TwoPhaseDriver driver;
+  ASSERT_NO_THROW(faulted_round_trip(cfg, driver, hints, &stats));
+  EXPECT_GT(stats.degradation().spills, 0u);
+}
+
+TEST(FaultedCollective, FullExhaustionFallsBackToIndependent) {
+  node::FaultConfig cfg;
+  cfg.exhaust_rate = 1.0;  // no node has aggregation memory at all
+  metrics::CollectiveStats mccio_stats;
+  core::MccioDriver mccio;
+  ASSERT_NO_THROW(
+      faulted_round_trip(cfg, mccio, io::Hints{}, &mccio_stats));
+  EXPECT_GT(mccio_stats.degradation().fallback_ranks, 0u);
+  EXPECT_GT(mccio_stats.degradation().fallback_bytes, 0u);
+
+  metrics::CollectiveStats tp_stats;
+  io::TwoPhaseDriver two_phase;
+  ASSERT_NO_THROW(
+      faulted_round_trip(cfg, two_phase, io::Hints{}, &tp_stats));
+  EXPECT_GT(tp_stats.degradation().fallback_ranks, 0u);
+}
+
+/// One faulted collective write+read; returns per-rank finish times.
+std::vector<sim::SimTime> faulted_timed_run(bool mccio) {
+  MiniClusterOptions opt;
+  opt.num_nodes = 3;
+  opt.ranks_per_node = 4;
+  MiniCluster cluster(opt);
+  node::FaultConfig cfg;
+  cfg.denial_rate = 0.3;
+  cfg.delay_rate = 0.3;
+  cfg.revoke_rate = 0.3;
+  node::FaultPlan plan(opt.num_nodes, cfg);
+  cluster.memory().set_fault_plan(&plan);
+  io::TwoPhaseDriver two_phase;
+  core::MccioDriver mc;
+  io::CollectiveDriver* driver =
+      mccio ? static_cast<io::CollectiveDriver*>(&mc) : &two_phase;
+  const int nranks = cluster.total_ranks();
+  auto times = cluster.machine().run(nranks, [&](mpi::Rank& rank) {
+    std::vector<std::byte> storage;
+    io::AccessPlan plan_ = ior_factory(rank.rank(), nranks, storage);
+    workloads::fill_pattern(plan_, 5);
+    io::MPIFile file(rank, rank.world(), cluster.services(), "/f",
+                     /*create=*/true, io::Hints{}, driver);
+    file.write_all_plan(plan_);
+    rank.world().barrier();
+    file.read_all_plan(plan_);
+    rank.world().barrier();
+  });
+  cluster.memory().set_fault_plan(nullptr);
+  return times;
+}
+
+TEST(FaultedCollective, DeterministicVirtualTimes) {
+  // Two identical faulted runs must be bit-identical — backoffs, grant
+  // delays and revocations all live in deterministic virtual time.
+  for (const bool mccio : {false, true}) {
+    const auto a = faulted_timed_run(mccio);
+    const auto b = faulted_timed_run(mccio);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+}  // namespace
+}  // namespace mcio
