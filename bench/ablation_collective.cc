@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
   const std::uint64_t block = cli.get_bytes("block", 4ull << 20);
   const std::uint64_t transfer = cli.get_bytes("transfer", 64ull << 10);
   bench::JsonReporter rep(cli, "ablation_collective");
+  bench::configure_audit(cli);
   cli.check_unused();
 
   workloads::IorConfig w;

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
       cli.get_int("ranks", tb.nodes * tb.ranks_per_node));
   const std::uint64_t mem = cli.get_bytes("mem", 16ull << 20);
   bench::JsonReporter rep(cli, "ablation_components");
+  bench::configure_audit(cli);
   cli.check_unused();
 
   workloads::IorConfig w;

@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   // noise instead of a trend.
   const double backoff = cli.get_double("backoff", 20e-3);
   bench::JsonReporter rep(cli, "ablation_faults");
+  bench::configure_audit(cli);
   cli.check_unused();
 
   workloads::IorConfig w;

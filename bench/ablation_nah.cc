@@ -13,6 +13,7 @@ int main(int argc, char** argv) {
   const int nranks = static_cast<int>(
       cli.get_int("ranks", tb.nodes * tb.ranks_per_node));
   bench::JsonReporter rep(cli, "ablation_nah");
+  bench::configure_audit(cli);
   cli.check_unused();
 
   workloads::IorConfig w;

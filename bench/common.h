@@ -27,12 +27,22 @@
 #include "util/bytes.h"
 #include "util/check.h"
 #include "util/cli.h"
+#include "verify/auditor.h"
 #include "util/json.h"
 #include "util/table.h"
 #include "workloads/collperf.h"
 #include "workloads/ior.h"
 
 namespace mcio::bench {
+
+/// Consumes `--no-audit`: benches run under the global simulation Auditor
+/// by default (observers are passive, so figures are byte-identical
+/// either way); the flag detaches it for hot-loop profiling.
+inline void configure_audit(const util::Cli& cli) {
+  if (cli.get_bool("no-audit", false)) {
+    verify::set_global_observer(nullptr);
+  }
+}
 
 /// Host wall clock in seconds (monotonic; only differences are meaningful).
 inline double wall_now() {
@@ -92,6 +102,26 @@ class JsonReporter {
     doc.set("bench", name_);
     doc.set("wall_s", wall_now() - start_);
     doc.set("peak_rss_bytes", peak_rss_bytes());
+    // Audit counters (README "Audit counters"): present unless the
+    // process opted out with --no-audit.
+    if (verify::global_audit_active()) {
+      const verify::AuditCounters& c = verify::global_auditor().counters();
+      util::Json audit = util::Json::object();
+      audit.set("runs", c.runs)
+          .set("slices", c.slices)
+          .set("messages", c.messages)
+          .set("unexpected", c.unexpected)
+          .set("waits", c.waits)
+          .set("lease_grants", c.lease_grants)
+          .set("lease_releases", c.lease_releases)
+          .set("pfs_writes", c.pfs_writes)
+          .set("pfs_reads", c.pfs_reads)
+          .set("pfs_bytes_written", c.pfs_bytes_written)
+          .set("pfs_bytes_read", c.pfs_bytes_read)
+          .set("collectives", c.collectives)
+          .set("findings", c.findings);
+      doc.set("audit", std::move(audit));
+    }
     util::Json pts = util::Json::array();
     for (util::Json& p : points_) pts.push(std::move(p));
     doc.set("points", std::move(pts));

@@ -21,6 +21,7 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(cli.get_int("dim", 1024));
   const double stdev = cli.get_double("mem-stdev", 0.5);
   bench::JsonReporter rep(cli, "fig6_collperf");
+  bench::configure_audit(cli);
   cli.check_unused();
 
   workloads::CollPerfConfig w;

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   w.interleaved = true;
   const double stdev = cli.get_double("mem-stdev", 0.5);
   bench::JsonReporter rep(cli, "fig8_ior1080");
+  bench::configure_audit(cli);
   cli.check_unused();
 
   const auto make_plan = [&](int rank, int p) {

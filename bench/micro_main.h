@@ -14,6 +14,7 @@
 
 #include "util/check.h"
 #include "util/json.h"
+#include "verify/auditor.h"
 
 namespace mcio::bench {
 
@@ -47,6 +48,8 @@ inline int micro_main(int argc, char** argv, const char* name) {
       json_path = std::string("BENCH_") + name + ".json";
     } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--no-audit") == 0) {
+      verify::set_global_observer(nullptr);
     } else {
       args.push_back(argv[i]);
     }

@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
 
   mcio::util::Cli cli(argc, argv);
   mcio::bench::JsonReporter rep(cli, "table1_exascale");
+  mcio::bench::configure_audit(cli);
   cli.check_unused();
 
   const Row rows[] = {

@@ -9,6 +9,7 @@ using namespace mcio;
 int main(int argc, char** argv) {
   util::Cli cli(argc, argv);
   bench::JsonReporter rep(cli, "tuner_probe");
+  bench::configure_audit(cli);
   cli.check_unused();
   bench::Testbed tb;
   tb.nodes = 10;

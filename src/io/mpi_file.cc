@@ -1,6 +1,7 @@
 #include "io/mpi_file.h"
 
 #include "io/independent.h"
+#include "mpi/machine.h"
 #include "util/check.h"
 
 namespace mcio::io {
@@ -61,22 +62,36 @@ void MPIFile::write_all(util::ConstPayload data) {
   // mutable payload for symmetry with reads.
   const AccessPlan plan = plan_through_view(
       util::Payload{const_cast<std::byte*>(data.data), data.size});
-  driver_->write_all(ctx_, plan);
+  write_all_plan(plan);
   view_consumed_ += data.size;
 }
 
 void MPIFile::read_all(util::Payload data) {
   const AccessPlan plan = plan_through_view(data);
-  driver_->read_all(ctx_, plan);
+  read_all_plan(plan);
   view_consumed_ += data.size;
 }
 
 void MPIFile::write_all_plan(const AccessPlan& plan) {
+  // Collective epoch brackets: the auditor checks byte conservation and
+  // lease balance between begin and end (DESIGN.md §8).
+  verify::Observer* obs = ctx_.rank->machine().observer();
+  obs->on_collective_begin(ctx_.fs, ctx_.file, /*is_write=*/true,
+                           ctx_.comm->size(), ctx_.rank->rank(),
+                           plan.extents);
   driver_->write_all(ctx_, plan);
+  obs->on_collective_end(ctx_.fs, ctx_.file, /*is_write=*/true,
+                         ctx_.rank->rank());
 }
 
 void MPIFile::read_all_plan(const AccessPlan& plan) {
+  verify::Observer* obs = ctx_.rank->machine().observer();
+  obs->on_collective_begin(ctx_.fs, ctx_.file, /*is_write=*/false,
+                           ctx_.comm->size(), ctx_.rank->rank(),
+                           plan.extents);
   driver_->read_all(ctx_, plan);
+  obs->on_collective_end(ctx_.fs, ctx_.file, /*is_write=*/false,
+                         ctx_.rank->rank());
 }
 
 void MPIFile::write_at(std::uint64_t offset, util::ConstPayload data) {

@@ -111,10 +111,20 @@ void Comm::wait(Request& request, Status* status) {
   }
   sim::Actor& actor = owner_->actor();
   Endpoint& ep = my_endpoint();
-  while (!request.slot_->done) {
-    ++ep.waiting;
-    actor.park();
-    --ep.waiting;
+  if (!request.slot_->done) {
+    // Audited park: the observer is told what this fiber blocks on so a
+    // deadlock report can name the missing message (see DESIGN.md §8).
+    verify::Observer* obs = machine_->observer();
+    const int wsrc = request.slot_->src == kAnySource
+                         ? kAnySource
+                         : world_rank(request.slot_->src);
+    obs->on_wait_begin(owner_->rank(), comm_id_, wsrc, request.slot_->tag);
+    while (!request.slot_->done) {
+      ++ep.waiting;
+      actor.park();
+      --ep.waiting;
+    }
+    obs->on_wait_end(owner_->rank());
   }
   actor.advance_to(request.slot_->status.arrival);
   actor.advance(machine_->config().recv_overhead);
@@ -178,11 +188,16 @@ FramedBlob Comm::recv_blob_deferred(int src, int tag) {
     fulfill(*slot, std::move(*env));
   } else {
     ep.post(slot);
+    // Audited park (see DESIGN.md §8).
+    verify::Observer* obs = machine_->observer();
+    const int wsrc = src == kAnySource ? kAnySource : world_rank(src);
+    obs->on_wait_begin(owner_->rank(), comm_id_, wsrc, tag);
     while (!slot->done) {
       ++ep.waiting;
       actor.park();
       --ep.waiting;
     }
+    obs->on_wait_end(owner_->rank());
   }
   Envelope& env = slot->taken;
   FramedBlob out;

@@ -5,7 +5,12 @@
 
 namespace mcio::mpi {
 
-Machine::Machine(const sim::ClusterConfig& config) : cluster_(config) {}
+Machine::Machine(const sim::ClusterConfig& config)
+    : cluster_(config), observer_(verify::default_observer()) {}
+
+void Machine::set_observer(verify::Observer* observer) {
+  observer_ = verify::observer_or_noop(observer);
+}
 
 std::vector<sim::SimTime> Machine::run(
     int nranks, const std::function<void(Rank&)>& body) {
@@ -15,6 +20,7 @@ std::vector<sim::SimTime> Machine::run(
                            << cluster_.total_ranks());
   endpoints_.assign(static_cast<std::size_t>(nranks), Endpoint{});
   sim::Engine engine;
+  engine.set_observer(observer_);
   engine_ = &engine;
   for (int r = 0; r < nranks; ++r) {
     engine.spawn([this, r, &body](sim::Actor& actor) {
@@ -26,9 +32,23 @@ std::vector<sim::SimTime> Machine::run(
     engine.run();
   } catch (...) {
     engine_ = nullptr;
+    observer_->on_run_aborted();
     throw;
   }
   engine_ = nullptr;
+  // Orphan sweep: every delivered message must have been received and
+  // every posted receive matched by the time the run completes.
+  for (std::size_t r = 0; r < endpoints_.size(); ++r) {
+    const int world = static_cast<int>(r);
+    endpoints_[r].for_each_orphan_message([&](const Envelope& env) {
+      observer_->on_orphan_message(world, env.comm_id, env.src, env.tag,
+                                   env.body.size());
+    });
+    endpoints_[r].for_each_orphan_recv([&](const RecvSlot& slot) {
+      observer_->on_orphan_recv(world, slot.comm_id, slot.src, slot.tag);
+    });
+  }
+  observer_->on_run_end();  // may throw on findings (enforcing mode)
   return engine.finish_times();
 }
 
@@ -52,7 +72,11 @@ sim::SimTime Machine::transfer(int src_node, int dst_node,
 
 void Machine::deliver(int world_dst, Envelope env) {
   Endpoint& ep = endpoint(world_dst);
-  if (const std::shared_ptr<RecvSlot> slot = ep.match_posted(env)) {
+  const std::shared_ptr<RecvSlot> slot = ep.match_posted(env);
+  observer_->on_message_delivered(env.comm_id, env.src, world_dst, env.tag,
+                                  env.body.size(),
+                                  /*matched=*/slot != nullptr);
+  if (slot) {
     fulfill(*slot, std::move(env));
     if (ep.waiting > 0 && engine_ != nullptr &&
         engine_->is_parked(world_dst)) {

@@ -17,6 +17,7 @@
 #include "mpi/message.h"
 #include "sim/engine.h"
 #include "sim/topology.h"
+#include "verify/observer.h"
 
 namespace mcio::mpi {
 
@@ -52,11 +53,18 @@ class Machine {
   Endpoint& endpoint(int world_rank);
   sim::Engine& engine();
 
+  /// Verification observer for transport and run-lifecycle events (never
+  /// null; defaults to verify::global_observer() or a no-op). Also
+  /// attached to the engine of each run().
+  void set_observer(verify::Observer* observer);
+  verify::Observer* observer() const { return observer_; }
+
  private:
   sim::Cluster cluster_;
   std::vector<Endpoint> endpoints_;
   std::map<std::vector<int>, std::uint64_t> group_ids_;
   sim::Engine* engine_ = nullptr;  // valid during run()
+  verify::Observer* observer_;
 };
 
 /// Per-rank execution context passed to rank bodies.

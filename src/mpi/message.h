@@ -140,6 +140,12 @@ class RingFifo {
     }
   }
 
+  /// Visits queued entries front to back (audit sweeps).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = head_; i < items_.size(); ++i) fn(items_[i]);
+  }
+
  private:
   std::vector<T> items_;
   std::size_t head_ = 0;
@@ -200,6 +206,15 @@ class MatchMap {
       }
       if (c.state == kEmpty) return;
       i = (i + 1) & mask_;
+    }
+  }
+
+  /// Visits every live (key, value) cell, in table order (audit sweeps —
+  /// deterministic because the hash mixes only message metadata).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Cell& c : cells_) {
+      if (c.state == kLive) fn(c.key, c.value);
     }
   }
 
@@ -343,6 +358,25 @@ class Endpoint {
 
   void release_slot(std::shared_ptr<RecvSlot> s) {
     if (slot_pool_.size() < 1024) slot_pool_.push_back(std::move(s));
+  }
+
+  /// End-of-run audit sweep: visits every delivered envelope still queued
+  /// as unexpected (no receive ever matched it).
+  template <typename Fn>
+  void for_each_orphan_message(Fn&& fn) const {
+    for (const Stored& s : unexpected_) {
+      if (!s.taken) fn(s.env);
+    }
+  }
+
+  /// End-of-run audit sweep: visits every posted receive still pending
+  /// (no message ever matched it), as RecvSlots.
+  template <typename Fn>
+  void for_each_orphan_recv(Fn&& fn) const {
+    for (const Posted& p : posted_wild_) fn(*p.slot);
+    posted_exact_.for_each([&fn](const MatchKey&, const RingFifo<Posted>& q) {
+      q.for_each([&fn](const Posted& p) { fn(*p.slot); });
+    });
   }
 
  private:

@@ -47,7 +47,7 @@ void Lease::release() {
 MemoryManager::MemoryManager(const sim::ClusterConfig& config,
                              std::uint64_t mean_available,
                              MemoryVariance variance, std::uint64_t seed)
-    : config_(config) {
+    : config_(config), observer_(verify::default_observer()) {
   MCIO_CHECK_GT(mean_available, 0u);
   util::Rng rng(seed);
   const auto n = static_cast<std::size_t>(config.num_nodes);
@@ -64,7 +64,14 @@ MemoryManager::MemoryManager(const sim::ClusterConfig& config,
   }
 }
 
-MemoryManager::~MemoryManager() { *alive_ = false; }
+MemoryManager::~MemoryManager() {
+  *alive_ = false;
+  observer_->on_manager_destroyed(this);
+}
+
+void MemoryManager::set_observer(verify::Observer* observer) {
+  observer_ = verify::observer_or_noop(observer);
+}
 
 MemoryManager MemoryManager::uniform(const sim::ClusterConfig& config,
                                      std::uint64_t available_per_node) {
@@ -98,6 +105,7 @@ Lease MemoryManager::grant(int node, std::uint64_t bytes) {
   }
   leased_[i] += bytes;
   high_water_[i] = std::max(high_water_[i], leased_[i]);
+  observer_->on_lease_grant(this, node, bytes);
   return Lease(this, alive_, node, bytes, pressure,
                pressure_bw_scale(pressure));
 }
@@ -153,6 +161,7 @@ void MemoryManager::release(int node, std::uint64_t bytes) {
   MCIO_CHECK_LT(i, capacity_.size());
   MCIO_CHECK_GE(leased_[i], bytes);
   leased_[i] -= bytes;
+  observer_->on_lease_release(this, node, bytes);
 }
 
 }  // namespace mcio::node

@@ -23,6 +23,7 @@
 #include "node/fault.h"
 #include "sim/topology.h"
 #include "util/rng.h"
+#include "verify/observer.h"
 
 namespace mcio::node {
 
@@ -150,6 +151,11 @@ class MemoryManager {
   /// a partially swapped aggregation buffer to the file system).
   double bw_scale_for(double pressure, double fast_bandwidth) const;
 
+  /// Verification observer for grant/release events (never null;
+  /// defaults to verify::global_observer() or a no-op).
+  void set_observer(verify::Observer* observer);
+  verify::Observer* observer() const { return observer_; }
+
  private:
   friend class Lease;
   void release(int node, std::uint64_t bytes);
@@ -160,6 +166,7 @@ class MemoryManager {
   std::vector<std::uint64_t> leased_;
   std::vector<std::uint64_t> high_water_;
   FaultPlan* faults_ = nullptr;
+  verify::Observer* observer_;
   /// Liveness token shared with leases; flipped false by the destructor.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
 };

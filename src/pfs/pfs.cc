@@ -7,7 +7,9 @@
 namespace mcio::pfs {
 
 Pfs::Pfs(sim::Cluster& cluster, const PfsConfig& config)
-    : cluster_(cluster), config_(config) {
+    : cluster_(cluster),
+      config_(config),
+      observer_(verify::default_observer()) {
   MCIO_CHECK_GT(config_.num_osts, 0);
   MCIO_CHECK_GT(config_.stripe_unit, 0u);
   MCIO_CHECK_GT(config_.max_rpc_bytes, 0u);
@@ -18,6 +20,12 @@ Pfs::Pfs(sim::Cluster& cluster, const PfsConfig& config)
                                             config_.rpc_latency),
                         {}});
   }
+}
+
+Pfs::~Pfs() { observer_->on_pfs_destroyed(this); }
+
+void Pfs::set_observer(verify::Observer* observer) {
+  observer_ = verify::observer_or_noop(observer);
 }
 
 FileHandle Pfs::create(const std::string& path, int stripe_count) {
@@ -168,6 +176,7 @@ void Pfs::write(sim::Actor& actor, FileHandle fh, std::uint64_t offset,
   }
   f.size = std::max(f.size, offset + data.size);
   bytes_written_ += static_cast<double>(data.size);
+  observer_->on_pfs_write(this, fh, offset, data.size);
   actor.advance_to(done);
 }
 
@@ -185,6 +194,7 @@ void Pfs::read(sim::Actor& actor, FileHandle fh, std::uint64_t offset,
     f.store.read(offset, out);
   }
   bytes_read_ += static_cast<double>(out.size);
+  observer_->on_pfs_read(this, fh, offset, out.size);
   actor.advance_to(done);
 }
 

@@ -23,6 +23,7 @@
 #include "sim/engine.h"
 #include "sim/resource.h"
 #include "sim/topology.h"
+#include "verify/observer.h"
 
 namespace mcio::pfs {
 
@@ -47,6 +48,7 @@ using FileHandle = int;
 class Pfs {
  public:
   Pfs(sim::Cluster& cluster, const PfsConfig& config);
+  ~Pfs();
 
   const PfsConfig& config() const { return config_; }
 
@@ -84,6 +86,11 @@ class Pfs {
 
   /// Direct store access for test verification (real-data mode only).
   const Store& store(FileHandle fh) const;
+
+  /// Verification observer for store-level read/write events (never
+  /// null; defaults to verify::global_observer() or a no-op).
+  void set_observer(verify::Observer* observer);
+  verify::Observer* observer() const { return observer_; }
 
  private:
   struct Ost {
@@ -123,6 +130,7 @@ class Pfs {
   std::vector<std::unique_ptr<FileState>> files_;
   std::map<std::string, FileHandle> by_path_;
   int next_first_ost_ = 0;
+  verify::Observer* observer_;
   double bytes_written_ = 0.0;
   double bytes_read_ = 0.0;
   std::uint64_t rpcs_ = 0;

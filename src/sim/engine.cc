@@ -27,7 +27,12 @@ void Actor::park() {
 
 Engine::Engine() : Engine(Options{}) {}
 
-Engine::Engine(Options options) : options_(options) {}
+Engine::Engine(Options options)
+    : options_(options), observer_(verify::default_observer()) {}
+
+void Engine::set_observer(verify::Observer* observer) {
+  observer_ = verify::observer_or_noop(observer);
+}
 
 Engine::~Engine() = default;
 
@@ -67,27 +72,32 @@ void Engine::run() {
     ready_.push({0.0, id});
   }
   pending_bodies_.clear();
+  observer_->on_engine_start(static_cast<int>(actors_.size()));
 
   while (!ready_.empty()) {
     const auto [t, id] = ready_.top();
     ready_.pop();
     auto& slot = actors_[static_cast<std::size_t>(id)];
     slot.state = State::kRunning;
+    observer_->on_actor_resumed(id, slot.actor->now());
     slot.fiber->resume_from(&main_ctx_);
+    observer_->on_actor_yielded(id, slot.actor->now());
     if (error_) std::rethrow_exception(error_);
   }
 
   // Everyone must have finished; parked actors with no waker = deadlock.
-  std::ostringstream stuck;
-  bool deadlock = false;
+  std::ostringstream stuck_text;
+  std::vector<int> stuck;
   for (std::size_t i = 0; i < actors_.size(); ++i) {
     if (actors_[i].state != State::kDone) {
-      deadlock = true;
-      stuck << ' ' << i;
+      stuck.push_back(static_cast<int>(i));
+      stuck_text << ' ' << i;
     }
   }
-  MCIO_CHECK_MSG(!deadlock,
-                 "simulation deadlock; parked actors:" << stuck.str());
+  MCIO_CHECK_MSG(stuck.empty(),
+                 "simulation deadlock; parked actors:"
+                     << stuck_text.str()
+                     << observer_->describe_deadlock(stuck));
 }
 
 void Engine::unpark(int actor_id, SimTime not_before) {

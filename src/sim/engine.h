@@ -16,6 +16,7 @@
 
 #include "sim/fiber.h"
 #include "sim/time.h"
+#include "verify/observer.h"
 
 namespace mcio::sim {
 
@@ -90,6 +91,12 @@ class Engine {
   /// Max over finish_times().
   SimTime makespan() const;
 
+  /// The verification observer notified of scheduling events (never
+  /// null; defaults to verify::global_observer() or a no-op). Observers
+  /// are passive — attaching one cannot change simulated results.
+  void set_observer(verify::Observer* observer);
+  verify::Observer* observer() const { return observer_; }
+
  private:
   friend class Actor;
 
@@ -117,6 +124,7 @@ class Engine {
                       std::greater<>>
       ready_;
   FiberContext main_ctx_{};
+  verify::Observer* observer_;
   std::exception_ptr error_;
   std::vector<SimTime> finish_times_;
   bool running_ = false;

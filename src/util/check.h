@@ -61,13 +61,17 @@ class CheckMessage {
     }                                                                      \
   } while (false)
 
+// Operands bind to locals once: side-effecting expressions (i++, pop())
+// must not run a second time when the failure message is built.
 #define MCIO_CHECK_OP(op, a, b)                                            \
   do {                                                                     \
-    if (!((a)op(b))) {                                                     \
+    auto&& mcio_check_lhs = (a);                                           \
+    auto&& mcio_check_rhs = (b);                                           \
+    if (!(mcio_check_lhs op mcio_check_rhs)) {                             \
       ::mcio::util::detail::check_failed(                                  \
           #a " " #op " " #b, __FILE__, __LINE__,                           \
           (::mcio::util::detail::CheckMessage{}                            \
-           << "lhs=" << (a) << " rhs=" << (b))                             \
+           << "lhs=" << mcio_check_lhs << " rhs=" << mcio_check_rhs)       \
               .str());                                                     \
     }                                                                      \
   } while (false)

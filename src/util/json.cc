@@ -97,8 +97,8 @@ void Json::dump_value(std::ostream& os, int depth) const {
     os << (*b ? "true" : "false");
   } else if (const auto* d = std::get_if<double>(&value_)) {
     dump_double(os, *d);
-  } else if (const auto* i = std::get_if<std::int64_t>(&value_)) {
-    os << *i;
+  } else if (const auto* iv = std::get_if<std::int64_t>(&value_)) {
+    os << *iv;
   } else if (const auto* u = std::get_if<std::uint64_t>(&value_)) {
     os << *u;
   } else if (const auto* s = std::get_if<std::string>(&value_)) {

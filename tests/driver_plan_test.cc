@@ -81,7 +81,9 @@ void check_common_invariants(const io::ExchangePlan& xplan, int nranks) {
   util::ExtentList cover;
   for (const auto& d : xplan.domains) cover.add(d.extent);
   for (const auto& b : xplan.rank_bounds) {
-    if (!b.empty()) EXPECT_TRUE(cover.covers(b));
+    if (!b.empty()) {
+      EXPECT_TRUE(cover.covers(b));
+    }
   }
 }
 

@@ -126,7 +126,9 @@ TEST(FaultPlan, DenialSetsNestedAcrossRates) {
   std::size_t low_total = 0;
   for (std::size_t r = 1; r < rates.size(); ++r) {
     for (std::size_t i = 0; i < denied[r].size(); ++i) {
-      if (denied[r - 1][i]) EXPECT_TRUE(denied[r][i]);
+      if (denied[r - 1][i]) {
+        EXPECT_TRUE(denied[r][i]);
+      }
     }
   }
   for (const bool d : denied[0]) low_total += d ? 1 : 0;

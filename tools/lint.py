@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Project linter for mcio: rules clang-tidy cannot express.
+
+Run from the repository root (CI runs it in the static-analysis job):
+
+    python3 tools/lint.py [paths...]
+
+Rules, all scoped to src/ (see DESIGN.md §8 for the rationale):
+
+  raw-assert          `assert(...)` is compiled out in release builds; the
+                      simulator is a correctness oracle, so invariants must
+                      use MCIO_CHECK* (always on, throws util::Error).
+  std-rand            `std::rand`/`srand` is hidden global state and breaks
+                      bit-for-bit reproducibility; draw from util::Rng.
+  untagged-narrowing  a `.size()` (size_t) value bound to an `int` without
+                      an explicit static_cast silently truncates at scale;
+                      tag the narrowing with static_cast<int>(...).
+  unobserved-park     a blocking `park()` outside the scheduler itself must
+                      tell the verification observer what it waits on
+                      (on_wait_begin/on_wait_end) so a deadlock report can
+                      name the missing message. New engine touch points
+                      follow the same observer-hook pattern.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+SRC_EXTENSIONS = {".h", ".cc"}
+
+# raw assert( — but not static_assert, and not inside identifiers.
+RE_ASSERT = re.compile(r"(?<![\w_])assert\s*\(")
+RE_STATIC_ASSERT = re.compile(r"static_assert\s*\(")
+RE_RAND = re.compile(r"(?<![\w_])(?:std::)?s?rand\s*\(")
+# `int x = ....size()` / `int x(....size())` with no cast tag.
+RE_INT_FROM_SIZE = re.compile(
+    r"(?<![\w_])(?:int|std::int32_t|int32_t)\s+\w+\s*[({=][^;]*\.size\(\)"
+)
+RE_SIZE_CAST = re.compile(r"static_cast<[^>]+>\s*\([^;]*\.size\(\)")
+RE_PARK = re.compile(r"(?<![\w_.])(?:\w+\.)?park\s*\(\s*\)")
+RE_WAIT_HOOK = re.compile(r"on_wait_begin\s*\(")
+
+# How far above a park() the wait hook must appear (lines).
+PARK_HOOK_WINDOW = 20
+
+LINT_OFF = "lint:allow"  # `// lint:allow <rule>` suppresses one line
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Removes // comments and string/char literal contents (coarse but
+    sufficient: rule patterns never span lines)."""
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    line = re.sub(r"'(?:[^'\\]|\\.)*'", "''", line)
+    return line.split("//", 1)[0]
+
+
+def lint_file(path: Path) -> list[tuple[Path, int, str, str]]:
+    findings = []
+    raw_lines = path.read_text(encoding="utf-8").splitlines()
+    lines = [strip_comments_and_strings(l) for l in raw_lines]
+    in_sim = "src/sim/" in path.as_posix()
+
+    def allow(i: int, rule: str) -> bool:
+        return LINT_OFF in raw_lines[i] and rule in raw_lines[i]
+
+    for i, line in enumerate(lines):
+        n = i + 1
+        if RE_ASSERT.search(line) and not RE_STATIC_ASSERT.search(line):
+            if not allow(i, "raw-assert"):
+                findings.append(
+                    (path, n, "raw-assert",
+                     "use MCIO_CHECK* instead of assert() — asserts "
+                     "vanish in release builds"))
+        if RE_RAND.search(line) and not allow(i, "std-rand"):
+            findings.append(
+                (path, n, "std-rand",
+                 "use util::Rng — std::rand is global state and not "
+                 "reproducible"))
+        if (RE_INT_FROM_SIZE.search(line)
+                and not RE_SIZE_CAST.search(line)
+                and not allow(i, "untagged-narrowing")):
+            findings.append(
+                (path, n, "untagged-narrowing",
+                 "tag the size_t -> int narrowing with "
+                 "static_cast<int>(...)"))
+        if not in_sim and RE_PARK.search(line):
+            window = lines[max(0, i - PARK_HOOK_WINDOW):i]
+            if (not any(RE_WAIT_HOOK.search(w) for w in window)
+                    and not allow(i, "unobserved-park")):
+                findings.append(
+                    (path, n, "unobserved-park",
+                     "blocking park() without a verify observer "
+                     "on_wait_begin within the preceding "
+                     f"{PARK_HOOK_WINDOW} lines — deadlocks here would "
+                     "be undiagnosable (DESIGN.md §8)"))
+    return findings
+
+
+def main(argv: list[str]) -> int:
+    roots = [Path(a) for a in argv[1:]] or [Path("src")]
+    files = []
+    for root in roots:
+        if root.is_file():
+            files.append(root)
+        else:
+            files.extend(p for p in sorted(root.rglob("*"))
+                         if p.suffix in SRC_EXTENSIONS)
+    if not files:
+        print("lint.py: no source files found", file=sys.stderr)
+        return 2
+
+    findings = []
+    for f in files:
+        findings.extend(lint_file(f))
+
+    for path, line, rule, msg in findings:
+        print(f"{path}:{line}: [{rule}] {msg}")
+    if findings:
+        print(f"lint.py: {len(findings)} finding(s) in {len(files)} files",
+              file=sys.stderr)
+        return 1
+    print(f"lint.py: clean ({len(files)} files)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
