@@ -99,8 +99,28 @@ std::vector<io::FileDomain> locate_aggregators(PartitionTree& tree,
       // the N_ah cap. Retry without the cap before giving up.
       hosts = hosts_for_domain(in, candidates, ext, /*relax_cap=*/true);
       pick = best_host(hosts, in.memory_aware);
+      if (pick == nullptr && !in.candidate_ranks.empty()) {
+        // Restricted candidate set (a group's own ranks) and none of
+        // them touch the domain — but in interleaved layouts ranks from
+        // *other* groups may still have data here, and a domain that is
+        // never emitted silently drops their bytes from the exchange.
+        // Widen the search to every data-bearing rank before calling it
+        // a hole.
+        std::vector<int> everyone;
+        for (std::size_t r = 0; r < in.rank_bounds.size(); ++r) {
+          if (!in.rank_bounds[r].empty()) {
+            everyone.push_back(static_cast<int>(r));
+          }
+        }
+        hosts = hosts_for_domain(in, everyone, ext, /*relax_cap=*/false);
+        pick = best_host(hosts, in.memory_aware);
+        if (pick == nullptr) {
+          hosts = hosts_for_domain(in, everyone, ext, /*relax_cap=*/true);
+          pick = best_host(hosts, in.memory_aware);
+        }
+      }
       if (pick == nullptr) {
-        // A hole: no candidate's request intersects. No data can flow
+        // A true hole: no rank's request intersects. No data can flow
         // here, so the domain is simply not emitted.
         placed.emplace_back(std::nullopt);
         ++i;

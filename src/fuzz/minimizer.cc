@@ -1,0 +1,230 @@
+#include "fuzz/minimizer.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/check.h"
+
+namespace mcio::fuzz {
+
+namespace {
+
+/// One candidate simplification: mutates the scenario in place and
+/// returns true when it actually changed something (unchanged candidates
+/// are skipped without spending an evaluation).
+struct Transform {
+  const char* name;
+  std::function<bool(Scenario&)> apply;
+};
+
+/// Clamps topology so validate() holds after a rank reduction.
+void fit_topology(Scenario& s) {
+  s.nranks = std::max(s.nranks, 1);
+  s.ranks_per_node = std::min(s.ranks_per_node, s.nranks);
+  s.ranks_per_node = std::max(s.ranks_per_node, 1);
+  s.nodes = (s.nranks + s.ranks_per_node - 1) / s.ranks_per_node;
+  s.nodes = std::max(s.nodes, 1);
+}
+
+std::vector<Transform> transforms() {
+  std::vector<Transform> t;
+  const auto add = [&t](const char* name,
+                        std::function<bool(Scenario&)> fn) {
+    t.push_back(Transform{name, std::move(fn)});
+  };
+
+  // Structural shrinks first — fewer ranks dominates everything else.
+  add("halve-ranks", [](Scenario& s) {
+    if (s.nranks <= 1) return false;
+    s.nranks /= 2;
+    fit_topology(s);
+    return true;
+  });
+  add("drop-rank", [](Scenario& s) {
+    if (s.nranks <= 1) return false;
+    --s.nranks;
+    fit_topology(s);
+    return true;
+  });
+  add("one-rank-per-node", [](Scenario& s) {
+    if (s.ranks_per_node <= 1) return false;
+    s.ranks_per_node = 1;
+    fit_topology(s);
+    return true;
+  });
+
+  // Pattern volume.
+  add("halve-count", [](Scenario& s) {
+    if (s.count <= 1) return false;
+    s.count /= 2;
+    return true;
+  });
+  add("drop-block", [](Scenario& s) {
+    if (s.count <= 1) return false;
+    --s.count;
+    return true;
+  });
+  add("one-segment", [](Scenario& s) {
+    if (s.segments <= 1) return false;
+    s.segments = 1;
+    return true;
+  });
+  add("halve-block", [](Scenario& s) {
+    if (s.block <= 1) return false;
+    s.block /= 2;
+    s.stride = std::max(s.stride, s.block);
+    return true;
+  });
+  add("tiny-block", [](Scenario& s) {
+    if (s.block <= 4) return false;
+    s.block = 4;
+    s.stride = std::max(s.stride, s.block);
+    return true;
+  });
+  add("dense-stride", [](Scenario& s) {
+    if (s.stride == s.block) return false;
+    s.stride = s.block;
+    return true;
+  });
+  add("zero-base", [](Scenario& s) {
+    if (s.base == 0) return false;
+    s.base = 0;
+    return true;
+  });
+
+  // Pattern decorations.
+  add("no-tail", [](Scenario& s) {
+    if (s.tail_bytes == 0) return false;
+    s.tail_bytes = 0;
+    return true;
+  });
+  add("no-holes", [](Scenario& s) {
+    if (s.hole_every == 0) return false;
+    s.hole_every = 0;
+    return true;
+  });
+  add("no-zero-ranks", [](Scenario& s) {
+    if (s.zero_rank_mask == 0) return false;
+    s.zero_rank_mask = 0;
+    return true;
+  });
+  add("plain-layout", [](Scenario& s) {
+    if (!s.interleaved) return false;
+    s.interleaved = false;
+    return true;
+  });
+  add("strided-kind", [](Scenario& s) {
+    if (s.kind == PatternKind::kStrided) return false;
+    s.kind = PatternKind::kStrided;
+    return true;
+  });
+
+  // Environment: faults, memory skew, topology knobs.
+  add("no-faults", [](Scenario& s) {
+    if (s.fault_denial == 0.0 && s.fault_revoke == 0.0 &&
+        s.fault_delay == 0.0 && s.fault_exhaust == 0.0) {
+      return false;
+    }
+    s.fault_denial = s.fault_revoke = s.fault_delay = s.fault_exhaust = 0.0;
+    return true;
+  });
+  add("uniform-memory", [](Scenario& s) {
+    if (s.mem_stdev == 0.0) return false;
+    s.mem_stdev = 0.0;
+    return true;
+  });
+  add("roomy-memory", [](Scenario& s) {
+    constexpr std::uint64_t kRoomy = 4ull << 20;
+    if (s.mem_mean >= kRoomy) return false;
+    s.mem_mean = kRoomy;
+    return true;
+  });
+  add("one-ost", [](Scenario& s) {
+    if (s.num_osts == 1) return false;
+    s.num_osts = 1;
+    return true;
+  });
+  add("round-stripe", [](Scenario& s) {
+    constexpr std::uint64_t kStripe = 64ull << 10;
+    if (s.stripe_unit == kStripe) return false;
+    s.stripe_unit = kStripe;
+    return true;
+  });
+  add("round-cb-buffer", [](Scenario& s) {
+    constexpr std::uint64_t kCb = 64ull << 10;
+    if (s.cb_buffer_size == kCb) return false;
+    s.cb_buffer_size = kCb;
+    return true;
+  });
+  add("default-aggregators", [](Scenario& s) {
+    if (s.cb_nodes == -1) return false;
+    s.cb_nodes = -1;
+    return true;
+  });
+  add("default-mccio", [](Scenario& s) {
+    Scenario d;
+    if (s.msg_group == d.msg_group && s.msg_ind == d.msg_ind &&
+        s.n_ah == d.n_ah && s.group_division && s.remerging &&
+        s.memory_aware) {
+      return false;
+    }
+    s.msg_group = d.msg_group;
+    s.msg_ind = d.msg_ind;
+    s.n_ah = d.n_ah;
+    s.group_division = s.remerging = s.memory_aware = true;
+    return true;
+  });
+  add("no-sieving", [](Scenario& s) {
+    if (!s.data_sieving_writes && s.ds_max_gap == 0) return false;
+    s.data_sieving_writes = false;
+    s.ds_max_gap = 0;
+    return true;
+  });
+
+  return t;
+}
+
+bool is_valid(const Scenario& s) {
+  try {
+    s.validate();
+    return true;
+  } catch (const util::Error&) {
+    return false;
+  }
+}
+
+}  // namespace
+
+MinimizeResult minimize(const Scenario& failing,
+                        const FailurePredicate& still_fails,
+                        const MinimizeOptions& options) {
+  failing.validate();
+  MinimizeResult result;
+  result.scenario = failing;
+  ++result.evals;
+  MCIO_CHECK_MSG(still_fails(failing),
+                 "minimize() called with a scenario that does not fail");
+
+  const std::vector<Transform> candidates = transforms();
+  bool progressed = true;
+  while (progressed && result.evals < options.max_evals) {
+    progressed = false;
+    for (const Transform& transform : candidates) {
+      // Re-apply each accepted transform to a fixpoint (halving ranks
+      // keeps paying off until one rank remains) before moving on.
+      while (result.evals < options.max_evals) {
+        Scenario candidate = result.scenario;
+        if (!transform.apply(candidate) || !is_valid(candidate)) break;
+        ++result.evals;
+        if (!still_fails(candidate)) break;
+        result.scenario = candidate;
+        ++result.accepted;
+        progressed = true;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace mcio::fuzz

@@ -1,0 +1,44 @@
+// Greedy shrinking minimizer for failing scenarios.
+//
+// Given a scenario on which some failure predicate holds (for the fuzz
+// driver: "the differential oracle rejects it"), the minimizer repeatedly
+// tries simplifying transformations — fewer ranks, smaller extents, plain
+// strided instead of exotic patterns, no faults, no tails/holes — and
+// keeps each one that preserves the failure. The result is the smallest
+// scenario this greedy descent reaches, suitable for committing as a
+// regression (see tests/fuzz_regression_test.cc).
+//
+// The predicate is a plain std::function, so tests can exercise the
+// shrinking logic with synthetic predicates and no simulator runs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "fuzz/scenario.h"
+
+namespace mcio::fuzz {
+
+/// Returns true when the (candidate) scenario still exhibits the failure
+/// being minimized. Candidates always satisfy Scenario::validate().
+using FailurePredicate = std::function<bool(const Scenario&)>;
+
+struct MinimizeOptions {
+  /// Cap on predicate evaluations (each is three simulated runs under the
+  /// real oracle, so the budget matters).
+  int max_evals = 250;
+};
+
+struct MinimizeResult {
+  Scenario scenario;  ///< smallest failing scenario reached
+  int evals = 0;      ///< predicate evaluations spent
+  int accepted = 0;   ///< transformations that preserved the failure
+};
+
+/// Shrinks `failing` while `still_fails` holds. `still_fails(failing)`
+/// must be true on entry (checked); the returned scenario always fails.
+MinimizeResult minimize(const Scenario& failing,
+                        const FailurePredicate& still_fails,
+                        const MinimizeOptions& options = {});
+
+}  // namespace mcio::fuzz

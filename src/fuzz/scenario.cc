@@ -1,0 +1,294 @@
+#include "fuzz/scenario.h"
+
+#include <iomanip>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "mpi/datatype.h"
+#include "util/check.h"
+#include "util/extent.h"
+#include "util/rng.h"
+
+namespace mcio::fuzz {
+
+using util::Extent;
+using util::ExtentList;
+
+const char* pattern_kind_name(PatternKind kind) {
+  switch (kind) {
+    case PatternKind::kStrided:
+      return "strided";
+    case PatternKind::kIor:
+      return "ior";
+    case PatternKind::kRandom:
+      return "random";
+    case PatternKind::kDatatype:
+      return "datatype";
+    case PatternKind::kOverlap:
+      return "overlap";
+  }
+  return "?";
+}
+
+void Scenario::validate() const {
+  MCIO_CHECK_GT(nodes, 0);
+  MCIO_CHECK_GT(ranks_per_node, 0);
+  MCIO_CHECK_GT(nranks, 0);
+  MCIO_CHECK_LE(nranks, nodes * ranks_per_node);
+  MCIO_CHECK_GT(mem_mean, 0u);
+  MCIO_CHECK_GE(mem_stdev, 0.0);
+  MCIO_CHECK_GT(num_osts, 0);
+  MCIO_CHECK_GT(stripe_unit, 0u);
+  MCIO_CHECK_GT(max_rpc_bytes, 0u);
+  MCIO_CHECK_GT(cb_buffer_size, 0u);
+  MCIO_CHECK_GT(msg_ind, 0u);
+  MCIO_CHECK_GT(n_ah, 0);
+  MCIO_CHECK_GT(block, 0u);
+  MCIO_CHECK_GE(stride, block);
+  MCIO_CHECK_GT(segments, 0u);
+  for (const double rate :
+       {fault_denial, fault_revoke, fault_delay, fault_exhaust}) {
+    MCIO_CHECK_GE(rate, 0.0);
+    MCIO_CHECK_LE(rate, 1.0);
+  }
+}
+
+std::vector<Extent> Scenario::rank_extents(int rank) const {
+  MCIO_CHECK_GE(rank, 0);
+  MCIO_CHECK_LT(rank, nranks);
+  if (rank < 64 && ((zero_rank_mask >> rank) & 1) != 0) return {};
+
+  const auto p = static_cast<std::uint64_t>(nranks);
+  const auto r = static_cast<std::uint64_t>(rank);
+  std::vector<Extent> extents;
+  switch (kind) {
+    case PatternKind::kStrided:
+      for (std::uint64_t k = 0; k < count; ++k) {
+        extents.push_back(Extent{base + (k * p + r) * stride, block});
+      }
+      break;
+    case PatternKind::kIor: {
+      // `block` is the transfer size, `count` the transfers per segment
+      // (so the IOR block size is block*count — no divisibility rule to
+      // satisfy, unlike workloads::IorConfig).
+      const std::uint64_t block_size = block * count;
+      const std::uint64_t seg_bytes = p * block_size;
+      for (std::uint64_t s = 0; s < segments; ++s) {
+        const std::uint64_t seg_base = base + s * seg_bytes;
+        if (!interleaved) {
+          extents.push_back(Extent{seg_base + r * block_size, block_size});
+        } else {
+          for (std::uint64_t k = 0; k < count; ++k) {
+            extents.push_back(
+                Extent{seg_base + (k * p + r) * block, block});
+          }
+        }
+      }
+      break;
+    }
+    case PatternKind::kRandom: {
+      // Random extents over a span shared by all ranks: overlaps, holes
+      // and unaligned boundaries come for free. Lengths in [1, block].
+      std::uint64_t mix = pattern_seed ^ (0x9e3779b97f4a7c15ULL * (r + 1));
+      util::Rng rng(util::splitmix64(mix));
+      const std::uint64_t span =
+          stride * std::max<std::uint64_t>(count, 1) + block;
+      for (std::uint64_t k = 0; k < count; ++k) {
+        const std::uint64_t off = base + rng.uniform_u64(span);
+        const std::uint64_t len = 1 + rng.uniform_u64(block);
+        extents.push_back(Extent{off, len});
+      }
+      break;
+    }
+    case PatternKind::kDatatype: {
+      // A tiled MPI vector type: count blocks of `block` bytes, block
+      // starts `stride` bytes apart, one instance per segment, rank
+      // instances offset by one block (interleaved tiling).
+      const mpi::Datatype vec = mpi::Datatype::vector(
+          count, block, stride, mpi::Datatype::bytes(1));
+      extents = vec.flatten(base + r * block, segments);
+      break;
+    }
+    case PatternKind::kOverlap:
+      // Every rank rewrites the shared header, then strided private tails
+      // — cross-rank overlap by construction.
+      extents.push_back(Extent{base, block});
+      for (std::uint64_t k = 0; k < count; ++k) {
+        extents.push_back(
+            Extent{base + block + (k * p + r) * stride, block});
+      }
+      break;
+  }
+
+  if (hole_every > 1) {
+    std::vector<Extent> kept;
+    for (std::size_t i = 0; i < extents.size(); ++i) {
+      if ((i + 1) % hole_every != 0) kept.push_back(extents[i]);
+    }
+    extents = std::move(kept);
+  }
+  if (tail_bytes > 0) {
+    std::uint64_t end = base;
+    for (const Extent& e : extents) end = std::max(end, e.end());
+    // Unaligned on purpose: a prime offset past the pattern, scaled by
+    // rank so tails don't collide.
+    extents.push_back(Extent{end + 13 + r * (tail_bytes + 17), tail_bytes});
+  }
+  return ExtentList::normalize(std::move(extents)).runs();
+}
+
+std::vector<Extent> Scenario::all_extents() const {
+  ExtentList all;
+  for (int rnk = 0; rnk < nranks; ++rnk) {
+    for (const Extent& e : rank_extents(rnk)) all.add(e);
+  }
+  return all.runs();
+}
+
+bool Scenario::has_cross_rank_overlap() const {
+  std::uint64_t per_rank_sum = 0;
+  ExtentList all;
+  for (int rnk = 0; rnk < nranks; ++rnk) {
+    for (const Extent& e : rank_extents(rnk)) {
+      per_rank_sum += e.len;
+      all.add(e);
+    }
+  }
+  return per_rank_sum > all.total_bytes();
+}
+
+std::uint64_t Scenario::total_bytes() const {
+  std::uint64_t sum = 0;
+  for (int rnk = 0; rnk < nranks; ++rnk) {
+    for (const Extent& e : rank_extents(rnk)) sum += e.len;
+  }
+  return sum;
+}
+
+// --- text serialization ----------------------------------------------
+//
+// The single field list below drives both directions, so a field added to
+// the struct without a serializer entry fails to round-trip loudly in
+// tests rather than silently dropping from repro files.
+
+#define MCIO_FUZZ_SCENARIO_FIELDS(X) \
+  X(gen_seed)                        \
+  X(gen_case)                        \
+  X(nodes)                           \
+  X(ranks_per_node)                  \
+  X(nranks)                          \
+  X(mem_mean)                        \
+  X(mem_stdev)                       \
+  X(mem_seed)                        \
+  X(num_osts)                        \
+  X(stripe_unit)                     \
+  X(max_rpc_bytes)                   \
+  X(cb_buffer_size)                  \
+  X(cb_nodes)                        \
+  X(align_file_domains)              \
+  X(data_sieving_writes)             \
+  X(ds_max_gap)                      \
+  X(msg_group)                       \
+  X(msg_ind)                         \
+  X(n_ah)                            \
+  X(group_division)                  \
+  X(remerging)                       \
+  X(memory_aware)                    \
+  X(fault_denial)                    \
+  X(fault_revoke)                    \
+  X(fault_delay)                     \
+  X(fault_exhaust)                   \
+  X(fault_seed)                      \
+  X(kind)                            \
+  X(base)                            \
+  X(block)                           \
+  X(stride)                          \
+  X(count)                           \
+  X(segments)                        \
+  X(interleaved)                     \
+  X(pattern_seed)                    \
+  X(zero_rank_mask)                  \
+  X(tail_bytes)                      \
+  X(hole_every)
+
+namespace {
+
+void emit_value(std::ostream& os, bool v) { os << (v ? 1 : 0); }
+void emit_value(std::ostream& os, PatternKind v) {
+  os << static_cast<int>(v);
+}
+void emit_value(std::ostream& os, double v) {
+  os << std::setprecision(17) << v;
+}
+template <typename T>
+void emit_value(std::ostream& os, const T& v) {
+  os << v;
+}
+
+void absorb_value(std::istream& is, bool& v) {
+  int tmp = 0;
+  is >> tmp;
+  v = tmp != 0;
+}
+void absorb_value(std::istream& is, PatternKind& v) {
+  int tmp = 0;
+  is >> tmp;
+  MCIO_CHECK_GE(tmp, 0);
+  MCIO_CHECK_LE(tmp, static_cast<int>(PatternKind::kOverlap));
+  v = static_cast<PatternKind>(tmp);
+}
+template <typename T>
+void absorb_value(std::istream& is, T& v) {
+  is >> v;
+}
+
+}  // namespace
+
+void Scenario::to_text(std::ostream& os) const {
+  os << "# mcio fuzz scenario (" << pattern_kind_name(kind) << ", seed "
+     << gen_seed << " case " << gen_case << ")\n";
+#define MCIO_FUZZ_EMIT(field)  \
+  os << #field << ' ';         \
+  emit_value(os, field);       \
+  os << '\n';
+  MCIO_FUZZ_SCENARIO_FIELDS(MCIO_FUZZ_EMIT)
+#undef MCIO_FUZZ_EMIT
+}
+
+Scenario Scenario::from_text(std::istream& is) {
+  Scenario s;
+  std::string line;
+  while (std::getline(is, line)) {
+    std::istringstream ls(line);
+    std::string key;
+    if (!(ls >> key) || key.empty() || key[0] == '#') continue;
+    if (false) {  // NOLINT(readability-simplify-boolean-expr): macro anchor
+    }
+#define MCIO_FUZZ_ABSORB(field)       \
+    else if (key == #field) {         \
+      absorb_value(ls, s.field);      \
+      MCIO_CHECK_MSG(!ls.fail(), "bad value for scenario key " << key); \
+    }
+    MCIO_FUZZ_SCENARIO_FIELDS(MCIO_FUZZ_ABSORB)
+#undef MCIO_FUZZ_ABSORB
+    else {
+      MCIO_CHECK_MSG(false, "unknown scenario key: " << key);
+    }
+  }
+  s.validate();
+  return s;
+}
+
+std::string Scenario::to_string() const {
+  std::ostringstream os;
+  to_text(os);
+  return os.str();
+}
+
+Scenario Scenario::from_string(const std::string& text) {
+  std::istringstream is(text);
+  return from_text(is);
+}
+
+}  // namespace mcio::fuzz

@@ -1,0 +1,122 @@
+// One fuzz scenario: a complete, self-contained description of a machine
+// topology, a driver/hint configuration, a fault schedule and an access
+// pattern.
+//
+// A Scenario is pure data. Per-rank access plans are *derived* from it
+// deterministically (rank_extents below), so a scenario round-trips
+// through the text serialization losslessly and a failure replays from
+// the serialized form alone — the contract the shrinking minimizer and
+// `fuzz_driver --replay` depend on.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/extent.h"
+
+namespace mcio::fuzz {
+
+/// Access-pattern families the generator samples. Beyond the curated
+/// workloads/ generators: overlapping ranks, fully random extent soups
+/// and derived-datatype shapes.
+enum class PatternKind {
+  kStrided = 0,   ///< workloads::strided-style round-robin blocks
+  kIor = 1,       ///< segmented / interleaved IOR
+  kRandom = 2,    ///< per-rank random extents over a shared span (overlaps)
+  kDatatype = 3,  ///< flattened vector-of-bytes derived datatype tiling
+  kOverlap = 4,   ///< shared region all ranks write + per-rank stride tail
+};
+
+const char* pattern_kind_name(PatternKind kind);
+
+struct Scenario {
+  // Provenance (informational; replay does not need them).
+  std::uint64_t gen_seed = 0;   ///< ScenarioGen seed that produced this
+  std::uint64_t gen_case = 0;   ///< case index under that seed
+
+  // Machine topology.
+  int nodes = 2;
+  int ranks_per_node = 2;
+  int nranks = 4;  ///< ranks actually launched, <= nodes * ranks_per_node
+
+  // Per-node memory (node::MemoryManager draw).
+  std::uint64_t mem_mean = 1 << 20;
+  double mem_stdev = 0.0;  ///< relative, as MemoryVariance
+  std::uint64_t mem_seed = 7;
+
+  // File system.
+  int num_osts = 4;
+  std::uint64_t stripe_unit = 64 << 10;
+  std::uint64_t max_rpc_bytes = 1 << 20;
+
+  // Collective hints.
+  std::uint64_t cb_buffer_size = 64 << 10;
+  int cb_nodes = -1;
+  bool align_file_domains = true;
+  bool data_sieving_writes = true;
+  std::uint64_t ds_max_gap = 256 << 10;
+
+  // MCCIO configuration.
+  std::uint64_t msg_group = 0;
+  std::uint64_t msg_ind = 128 << 10;
+  int n_ah = 2;
+  bool group_division = true;
+  bool remerging = true;
+  bool memory_aware = true;
+
+  // Memory-fault schedule (node::FaultConfig rates).
+  double fault_denial = 0.0;
+  double fault_revoke = 0.0;
+  double fault_delay = 0.0;
+  double fault_exhaust = 0.0;
+  std::uint64_t fault_seed = 20120512;
+
+  // Access pattern.
+  PatternKind kind = PatternKind::kStrided;
+  std::uint64_t base = 0;        ///< file offset the pattern starts at
+  std::uint64_t block = 4096;    ///< block / transfer bytes
+  std::uint64_t stride = 4096;   ///< slot stride (>= block where relevant)
+  std::uint64_t count = 4;       ///< blocks / extents / instances per rank
+  std::uint64_t segments = 1;    ///< IOR segments
+  bool interleaved = true;       ///< IOR layout
+  std::uint64_t pattern_seed = 42;  ///< data pattern + random shapes
+  /// Bitmask of ranks (low 64) whose plans are forced empty.
+  std::uint64_t zero_rank_mask = 0;
+  /// When nonzero, every rank appends one `tail_bytes` extent past its
+  /// last block at an intentionally unaligned offset.
+  std::uint64_t tail_bytes = 0;
+  /// When nonzero, every hole_every-th extent of a rank's plan is dropped.
+  std::uint64_t hole_every = 0;
+
+  /// The file extents rank `rank` accesses — normalized (sorted, disjoint,
+  /// merged), possibly empty. Pure function of (*this, rank).
+  std::vector<util::Extent> rank_extents(int rank) const;
+
+  /// Union of all ranks' extents (what must land in the file).
+  std::vector<util::Extent> all_extents() const;
+
+  /// True when at least one byte is planned by two different ranks —
+  /// scenarios where "each byte written exactly once" is not well-defined
+  /// (the oracle relaxes duplicate findings for them).
+  bool has_cross_rank_overlap() const;
+
+  std::uint64_t total_bytes() const;
+
+  /// Throws util::Error when structurally invalid (bounds, topology).
+  void validate() const;
+
+  /// Text serialization: one `key value` pair per line, '#' comments.
+  /// from_text accepts exactly what to_text emits (unknown keys are an
+  /// error so repro files never silently drift).
+  void to_text(std::ostream& os) const;
+  static Scenario from_text(std::istream& is);
+
+  std::string to_string() const;
+  static Scenario from_string(const std::string& text);
+
+  friend bool operator==(const Scenario&, const Scenario&) = default;
+};
+
+}  // namespace mcio::fuzz

@@ -1,0 +1,162 @@
+#include "fuzz/scenario_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace mcio::fuzz {
+
+namespace {
+
+/// Log-uniform byte size in [lo, hi] (both powers of two or not — the
+/// draw is uniform over the exponent range, then jittered so unaligned
+/// sizes appear too).
+std::uint64_t log_uniform_bytes(util::Rng& rng, std::uint64_t lo,
+                                std::uint64_t hi, bool jitter) {
+  MCIO_CHECK_GT(lo, 0u);
+  MCIO_CHECK_GE(hi, lo);
+  const double e = rng.uniform_double(std::log2(static_cast<double>(lo)),
+                                      std::log2(static_cast<double>(hi)));
+  auto v = static_cast<std::uint64_t>(std::exp2(e));
+  v = std::clamp(v, lo, hi);
+  if (jitter && rng.uniform_double() < 0.5 && v > 2) {
+    // Knock the size off its round value: odd block sizes, stripe units
+    // and buffers are exactly what hand-written tests never try.
+    v -= rng.uniform_u64(std::min<std::uint64_t>(v / 2, 97)) + 1;
+  }
+  return std::max(v, lo);
+}
+
+}  // namespace
+
+Scenario ScenarioGen::generate(std::uint64_t case_index) const {
+  // Expand (seed, case) into an independent stream.
+  std::uint64_t mix = seed_;
+  util::splitmix64(mix);
+  mix ^= 0x6a09e667f3bcc909ULL * (case_index + 1);
+  util::Rng rng(util::splitmix64(mix));
+
+  Scenario s;
+  s.gen_seed = seed_;
+  s.gen_case = case_index;
+
+  // Topology: small clusters with empty-node skew (nranks may leave whole
+  // nodes idle, which skews the per-node aggregation maps).
+  s.nodes = static_cast<int>(rng.uniform_int(1, limits_.max_nodes));
+  s.ranks_per_node =
+      static_cast<int>(rng.uniform_int(1, limits_.max_ranks_per_node));
+  const int slots = s.nodes * s.ranks_per_node;
+  // Bias toward full machines; the tail exercises partial occupancy.
+  s.nranks = rng.uniform_double() < 0.7
+                 ? slots
+                 : static_cast<int>(rng.uniform_int(1, slots));
+
+  // Memory: mean spans starved to roomy; stdev up to heavy skew.
+  s.mem_mean = log_uniform_bytes(rng, 128ull << 10, 4ull << 20, false);
+  s.mem_stdev = rng.uniform_double() < 0.3
+                    ? 0.0
+                    : rng.uniform_double(0.1, 1.0);
+  s.mem_seed = rng.next_u64();
+
+  // File system.
+  s.num_osts = static_cast<int>(rng.uniform_int(1, 8));
+  s.stripe_unit = log_uniform_bytes(rng, 4ull << 10, 256ull << 10, true);
+  s.max_rpc_bytes = log_uniform_bytes(rng, 64ull << 10, 1ull << 20, false);
+
+  // Hints.
+  s.cb_buffer_size = log_uniform_bytes(rng, 8ull << 10, 512ull << 10, true);
+  switch (rng.uniform_int(0, 3)) {
+    case 0:
+      s.cb_nodes = -1;
+      break;
+    case 1:
+      s.cb_nodes = 1;
+      break;
+    case 2:
+      s.cb_nodes = static_cast<int>(
+          rng.uniform_int(1, std::max(1, s.nodes)));
+      break;
+    default:
+      s.cb_nodes = s.nodes;
+      break;
+  }
+  s.align_file_domains = rng.uniform_double() < 0.8;
+  s.data_sieving_writes = rng.uniform_double() < 0.8;
+  s.ds_max_gap =
+      rng.uniform_double() < 0.2
+          ? 0
+          : log_uniform_bytes(rng, 4ull << 10, 256ull << 10, false);
+
+  // MCCIO knobs, including the ablation switches.
+  s.msg_group = rng.uniform_double() < 0.5
+                    ? 0
+                    : log_uniform_bytes(rng, 64ull << 10, 2ull << 20,
+                                        false);
+  s.msg_ind = log_uniform_bytes(rng, 16ull << 10, 1ull << 20, true);
+  s.n_ah = static_cast<int>(rng.uniform_int(1, 3));
+  s.group_division = rng.uniform_double() < 0.85;
+  s.remerging = rng.uniform_double() < 0.85;
+  s.memory_aware = rng.uniform_double() < 0.85;
+
+  // Faults: most cases fault-free so the clean path dominates; the rest
+  // draw every mode (the driver's --fault-rate flag can override).
+  if (rng.uniform_double() < 0.35) {
+    const double cap = limits_.max_fault_rate;
+    s.fault_denial = rng.uniform_double(0.0, cap);
+    s.fault_revoke = rng.uniform_double(0.0, cap);
+    s.fault_delay = rng.uniform_double(0.0, cap);
+    s.fault_exhaust = rng.uniform_double() < 0.3
+                          ? rng.uniform_double(0.0, cap / 2)
+                          : 0.0;
+    s.fault_seed = rng.next_u64();
+  }
+
+  // Access pattern.
+  s.kind = static_cast<PatternKind>(rng.uniform_int(0, 4));
+  s.base = rng.uniform_double() < 0.5
+               ? 0
+               : rng.uniform_u64(512ull << 10) + 1;  // unaligned starts
+  s.block = log_uniform_bytes(rng, 1, 16ull << 10, true);
+  s.stride = s.block + (rng.uniform_double() < 0.3
+                            ? 0
+                            : rng.uniform_u64(4 * s.block + 4096));
+  s.count = rng.uniform_int(1, 24);
+  s.segments = rng.uniform_int(1, 3);
+  s.interleaved = rng.uniform_double() < 0.6;
+  s.pattern_seed = rng.next_u64();
+  if (rng.uniform_double() < 0.25) {
+    // Up to half the ranks contribute nothing.
+    const int zeros = static_cast<int>(
+        rng.uniform_int(1, std::max(1, s.nranks / 2)));
+    for (int i = 0; i < zeros; ++i) {
+      s.zero_rank_mask |= 1ull << rng.uniform_u64(
+          std::min<std::uint64_t>(64, static_cast<std::uint64_t>(s.nranks)));
+    }
+  }
+  if (rng.uniform_double() < 0.3) {
+    s.tail_bytes = 1 + rng.uniform_u64(4096);
+  }
+  if (rng.uniform_double() < 0.3) {
+    s.hole_every = 2 + rng.uniform_u64(4);
+  }
+
+  // Budget: shrink the pattern until the case fits the byte cap (keeps
+  // soaks fast and bounds the per-case allocation).
+  while (s.count > 1 && s.total_bytes() > limits_.max_total_bytes) {
+    s.count /= 2;
+  }
+  while (s.segments > 1 && s.total_bytes() > limits_.max_total_bytes) {
+    --s.segments;
+  }
+  while (s.block > 1 && s.total_bytes() > limits_.max_total_bytes) {
+    s.block /= 2;
+    s.stride = std::max(s.stride / 2, s.block);
+  }
+
+  s.validate();
+  return s;
+}
+
+}  // namespace mcio::fuzz

@@ -1,0 +1,45 @@
+// Seeded scenario generator.
+//
+// Samples machine topologies, hint/driver configurations, fault rates and
+// access-pattern shapes far beyond the curated workloads/ generators:
+// skewed per-node memory, zero-length ranks, cross-rank overlaps, holes,
+// unaligned tails and derived-datatype tilings. Case i under seed s is a
+// pure function of (s, i) — no generator state carries between cases, so
+// any case replays in isolation.
+#pragma once
+
+#include <cstdint>
+
+#include "fuzz/scenario.h"
+
+namespace mcio::fuzz {
+
+struct GenLimits {
+  /// Cap on the sum of all ranks' planned bytes; the sampler shrinks
+  /// `count` until a drawn case fits (soaks stay seconds-per-hundred-cases
+  /// instead of unbounded).
+  std::uint64_t max_total_bytes = 6ull << 20;
+  int max_nodes = 6;
+  int max_ranks_per_node = 6;
+  /// Fault rates are sampled only up to these (the driver can override
+  /// rates wholesale for sweep runs).
+  double max_fault_rate = 0.2;
+};
+
+class ScenarioGen {
+ public:
+  explicit ScenarioGen(std::uint64_t seed, GenLimits limits = {})
+      : seed_(seed), limits_(limits) {}
+
+  std::uint64_t seed() const { return seed_; }
+  const GenLimits& limits() const { return limits_; }
+
+  /// The case_index-th scenario of this seed.
+  Scenario generate(std::uint64_t case_index) const;
+
+ private:
+  std::uint64_t seed_;
+  GenLimits limits_;
+};
+
+}  // namespace mcio::fuzz

@@ -5,9 +5,46 @@
 #include <cstring>
 #include <limits>
 
+#ifdef MCIO_FUZZ_BUG
+#include <cstdlib>
+#endif
+
 #include "util/check.h"
 
 namespace mcio::io {
+
+#ifdef MCIO_FUZZ_BUG
+namespace {
+
+// Oracle self-test fault (compiled only with -DMCIO_FUZZ_BUG=ON, armed
+// only when MCIO_FUZZ_BUG_SEED is set): deterministically swaps one
+// adjacent byte pair in each packed exchange window on the client send
+// path. Both collective drivers share this path, so the differential
+// oracle must flag them against the independent baseline and against the
+// absolute pattern check — see tools/fuzz_driver --expect-failure and the
+// CI fuzz job's negative test.
+bool fuzz_bug_seed(std::uint64_t* seed) {
+  static const char* env = std::getenv("MCIO_FUZZ_BUG_SEED");
+  if (env == nullptr || *env == '\0') return false;
+  *seed = std::strtoull(env, nullptr, 10);
+  return true;
+}
+
+void fuzz_bug_corrupt(std::byte* data, std::uint64_t len,
+                      std::uint64_t window_offset) {
+  std::uint64_t seed = 0;
+  if (len < 2 || !fuzz_bug_seed(&seed)) return;
+  // splitmix64-style mix of (seed, window) — pure, so replays are exact.
+  std::uint64_t h = seed ^ (window_offset + 0x9e3779b97f4a7c15ULL);
+  h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  h = (h ^ (h >> 27)) * 0x94d049bb133111ebULL;
+  h ^= h >> 31;
+  const std::uint64_t p = h % (len - 1);
+  std::swap(data[p], data[p + 1]);
+}
+
+}  // namespace
+#endif  // MCIO_FUZZ_BUG
 
 using util::ConstPayload;
 using util::Extent;
@@ -329,6 +366,9 @@ void TwoPhaseExchange::client_send_data() {
                       p.len);
           off += p.len;
         }
+#ifdef MCIO_FUZZ_BUG
+        fuzz_bug_corrupt(tmp.data(), tmp.size(), w.offset);
+#endif
         ctx_.comm->send(d.aggregator, tag_data_base_ + di,
                         ConstPayload::of(tmp));
       } else {
@@ -430,7 +470,13 @@ void TwoPhaseExchange::aggregator_write() {
                                           Payload::virtual_bytes(n)));
         }
       }
-      const bool rmw = holes && ctx_.hints.data_sieving_writes;
+      // No read-modify-write while any rank is degraded to independent
+      // I/O: its extents are exactly the holes the sieve would bridge,
+      // and the span write-back would race the rank's own writes — losing
+      // its bytes (pre-read before the rank wrote) or double-writing
+      // them. Gap-free windows and fault-free runs keep the fast path.
+      const bool rmw = holes && ctx_.hints.data_sieving_writes &&
+                       xplan_.independent_ranks.empty();
       if (rmw) {
         Payload stage =
             xplan_.real_data

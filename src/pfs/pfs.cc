@@ -216,6 +216,19 @@ void Pfs::reset_accounting() {
 
 const Store& Pfs::store(FileHandle fh) const { return state(fh).store; }
 
+std::uint64_t Pfs::content_hash(FileHandle fh) const {
+  return state(fh).store.content_hash();
+}
+
+Store Pfs::clone_store(FileHandle fh) const {
+  return state(fh).store.clone();
+}
+
+void Pfs::read_raw(FileHandle fh, std::uint64_t offset,
+                   util::Payload out) const {
+  state(fh).store.read(offset, out);
+}
+
 Pfs::FileState& Pfs::state(FileHandle fh) {
   MCIO_CHECK_GE(fh, 0);
   MCIO_CHECK_LT(static_cast<std::size_t>(fh), files_.size());

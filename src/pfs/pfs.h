@@ -87,6 +87,20 @@ class Pfs {
   /// Direct store access for test verification (real-data mode only).
   const Store& store(FileHandle fh) const;
 
+  /// Content hash of the file's logical bytes (see Store::content_hash).
+  /// Only meaningful with store_data; the differential fuzzer's byte
+  /// oracle compares drivers through this.
+  std::uint64_t content_hash(FileHandle fh) const;
+
+  /// Deep copy of the file's contents, usable after this Pfs (and the
+  /// simulation behind it) is destroyed.
+  Store clone_store(FileHandle fh) const;
+
+  /// Store-level readback that bypasses the timing model entirely (no
+  /// actor, no RPC accounting) — for oracles diffing file contents.
+  void read_raw(FileHandle fh, std::uint64_t offset,
+                util::Payload out) const;
+
   /// Verification observer for store-level read/write events (never
   /// null; defaults to verify::global_observer() or a no-op).
   void set_observer(verify::Observer* observer);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <vector>
 
 namespace mcio::pfs {
 
@@ -44,6 +45,67 @@ void Store::read(std::uint64_t offset, util::Payload out) const {
 void Store::truncate() {
   pages_.clear();
   size_ = 0;
+}
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001b3ULL;
+
+std::uint64_t fnv1a(std::uint64_t h, const std::byte* p, std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) {
+    h = (h ^ static_cast<std::uint64_t>(p[i])) * kFnvPrime;
+  }
+  return h;
+}
+
+std::uint64_t fnv1a_zeros(std::uint64_t h, std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) h = h * kFnvPrime;
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t Store::content_hash() const {
+  // Resident pages in ascending order; gaps hash as zero bytes so the
+  // result depends only on the logical byte string.
+  std::vector<std::uint64_t> idx;
+  idx.reserve(pages_.size());
+  for (const auto& [page, bytes] : pages_) {
+    (void)bytes;
+    idx.push_back(page);
+  }
+  std::sort(idx.begin(), idx.end());
+  std::uint64_t h = kFnvOffset;
+  std::uint64_t pos = 0;
+  for (const std::uint64_t page : idx) {
+    const std::uint64_t start = page * kPageSize;
+    if (start >= size_) break;
+    h = fnv1a_zeros(h, start - pos);
+    const std::uint64_t n = std::min(kPageSize, size_ - start);
+    h = fnv1a(h, pages_.at(page).data(), n);
+    pos = start + n;
+  }
+  h = fnv1a_zeros(h, size_ - pos);
+  return h;
+}
+
+std::optional<std::uint64_t> first_difference(const Store& a,
+                                              const Store& b) {
+  const std::uint64_t n = std::max(a.size(), b.size());
+  std::vector<std::byte> pa(Store::kPageSize);
+  std::vector<std::byte> pb(Store::kPageSize);
+  for (std::uint64_t pos = 0; pos < n; pos += Store::kPageSize) {
+    const std::uint64_t len = std::min(Store::kPageSize, n - pos);
+    a.read(pos, util::Payload::real(pa.data(), len));
+    b.read(pos, util::Payload::real(pb.data(), len));
+    if (std::memcmp(pa.data(), pb.data(), len) != 0) {
+      for (std::uint64_t i = 0; i < len; ++i) {
+        if (pa[i] != pb[i]) return pos + i;
+      }
+    }
+  }
+  return std::nullopt;
 }
 
 }  // namespace mcio::pfs

@@ -8,6 +8,7 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 #include <unordered_map>
 
 #include "util/payload.h"
@@ -33,10 +34,26 @@ class Store {
 
   void truncate();
 
+  /// FNV-1a over the logical byte string [0, size()), holes hashed as
+  /// zeros. Page order is canonicalized, so two stores with identical
+  /// logical contents hash identically regardless of write history —
+  /// the byte oracle the differential fuzzer compares drivers with.
+  std::uint64_t content_hash() const;
+
+  /// Deep copy of the logical contents (for diffing a file after the
+  /// simulation that produced it is torn down).
+  Store clone() const { return *this; }
+
  private:
   using Page = std::array<std::byte, kPageSize>;
   std::unordered_map<std::uint64_t, Page> pages_;
   std::uint64_t size_ = 0;
 };
+
+/// Offset of the first logical byte where the two stores differ (holes
+/// read as zero; a longer store differs where the shorter one ends unless
+/// the excess is all zeros). nullopt when byte-identical.
+std::optional<std::uint64_t> first_difference(const Store& a,
+                                              const Store& b);
 
 }  // namespace mcio::pfs

@@ -1,0 +1,340 @@
+// Fuzz subsystem tests: scenario serialization, generator determinism,
+// the shrinking minimizer (with synthetic predicates — no simulator runs),
+// an oracle smoke check, and — most importantly — minimized repros of real
+// bugs the differential fuzzer found, committed here as regressions.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/minimizer.h"
+#include "fuzz/oracle.h"
+#include "fuzz/scenario.h"
+#include "fuzz/scenario_gen.h"
+#include "testing.h"
+#include "util/check.h"
+
+namespace mcio::fuzz {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Minimized repros of real bugs (fuzz_driver output, committed verbatim).
+// Each replays the exact scenario through the differential oracle and must
+// now pass. See DESIGN.md §9 for the bug histories.
+
+// Found by `fuzz_driver --seed 2` (case 192), verdict findings:mccio:
+// byte-loss. With group division on and a restricted per-group candidate
+// set, locate_aggregators declared a leaf a "hole" when no *group member*
+// intersected it — but in interleaved layouts other groups' ranks still
+// had data there, and the un-emitted domain silently dropped their bytes
+// from the exchange (src/core/aggregator_location.cc).
+constexpr const char* kAggregatorHoleRepro = R"(# verdict: findings:mccio:byte-loss
+# mcio fuzz scenario (random, seed 2 case 192)
+gen_seed 2
+gen_case 192
+nodes 21
+ranks_per_node 1
+nranks 21
+mem_mean 4194304
+mem_stdev 0
+mem_seed 17066763986720129804
+num_osts 1
+stripe_unit 160246
+max_rpc_bytes 100431
+cb_buffer_size 65536
+cb_nodes -1
+align_file_domains 0
+data_sieving_writes 0
+ds_max_gap 0
+msg_group 67761
+msg_ind 409127
+n_ah 1
+group_division 1
+remerging 1
+memory_aware 0
+fault_denial 0
+fault_revoke 0
+fault_delay 0
+fault_exhaust 0
+fault_seed 20120512
+kind 2
+base 0
+block 14852
+stride 76802
+count 6
+segments 1
+interleaved 0
+pattern_seed 15285556179226728614
+zero_rank_mask 0
+tail_bytes 0
+hole_every 0
+)";
+
+// Found by `fuzz_driver --seed 42` (case 297), verdict findings:mccio:
+// byte-duplicate. Under fault-exhaust some ranks fall back to independent
+// writes; the aggregator's data-sieving RMW then pre-read the window span
+// and wrote the *entire* span back, clobbering (or double-writing) the
+// fallback ranks' bytes sitting in the gaps. Fixed by disabling write
+// sieving whenever the plan has independent ranks (src/io/exchange.cc).
+constexpr const char* kSieveFallbackRepro = R"(# verdict: findings:mccio:byte-duplicate
+# mcio fuzz scenario (strided, seed 42 case 297)
+gen_seed 42
+gen_case 297
+nodes 5
+ranks_per_node 5
+nranks 25
+mem_mean 4194304
+mem_stdev 0
+mem_seed 2603492946320532890
+num_osts 1
+stripe_unit 65536
+max_rpc_bytes 223441
+cb_buffer_size 65536
+cb_nodes -1
+align_file_domains 1
+data_sieving_writes 1
+ds_max_gap 5152
+msg_group 0
+msg_ind 131072
+n_ah 2
+group_division 1
+remerging 1
+memory_aware 1
+fault_denial 0.12212611162487108
+fault_revoke 0.16516772520219081
+fault_delay 0.1490357817541236
+fault_exhaust 0.082214058878599242
+fault_seed 4341257883195757496
+kind 0
+base 0
+block 1
+stride 12358
+count 2
+segments 1
+interleaved 0
+pattern_seed 6528844385504007627
+zero_rank_mask 0
+tail_bytes 0
+hole_every 0
+)";
+
+TEST(FuzzRegression, AggregatorLocationInterleavedHole) {
+  const Scenario s = Scenario::from_string(kAggregatorHoleRepro);
+  s.validate();
+  const DiffResult d = run_differential(s);
+  EXPECT_TRUE(d.ok()) << d.describe();
+  EXPECT_EQ(d.classify(), "ok");
+}
+
+TEST(FuzzRegression, WriteSievingVsFaultFallback) {
+  const Scenario s = Scenario::from_string(kSieveFallbackRepro);
+  s.validate();
+  const DiffResult d = run_differential(s);
+  EXPECT_TRUE(d.ok()) << d.describe();
+  EXPECT_EQ(d.classify(), "ok");
+}
+
+// ---------------------------------------------------------------------------
+// Scenario serialization.
+
+TEST(Scenario, TextRoundTrip) {
+  const ScenarioGen gen(mcio::testing::test_seed());
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    const Scenario s = gen.generate(i);
+    const Scenario back = Scenario::from_string(s.to_string());
+    EXPECT_EQ(s, back) << "case " << i;
+  }
+}
+
+TEST(Scenario, FromTextRejectsUnknownKey) {
+  Scenario s;
+  std::string text = s.to_string();
+  text += "no_such_field 1\n";
+  EXPECT_THROW(Scenario::from_string(text), util::Error);
+}
+
+TEST(Scenario, FromTextSkipsComments) {
+  const Scenario s = Scenario::from_string(
+      "# a comment\nnranks 2\nnodes 2\nranks_per_node 1\n");
+  EXPECT_EQ(s.nranks, 2);
+  EXPECT_EQ(s.nodes, 2);
+}
+
+TEST(Scenario, RankExtentsNormalized) {
+  const ScenarioGen gen(mcio::testing::test_seed() + 1);
+  for (std::uint64_t i = 0; i < 25; ++i) {
+    const Scenario s = gen.generate(i);
+    for (int r = 0; r < s.nranks; ++r) {
+      const auto extents = s.rank_extents(r);
+      for (std::size_t k = 0; k + 1 < extents.size(); ++k) {
+        // Sorted, disjoint, and merged: each run starts strictly past the
+        // previous run's end.
+        EXPECT_GT(extents[k + 1].offset,
+                  extents[k].offset + extents[k].len)
+            << "case " << i << " rank " << r;
+      }
+    }
+  }
+}
+
+TEST(Scenario, ZeroRankMaskEmptiesPlans) {
+  Scenario s;
+  s.nodes = 2;
+  s.ranks_per_node = 2;
+  s.nranks = 4;
+  s.zero_rank_mask = 0b0101;
+  EXPECT_TRUE(s.rank_extents(0).empty());
+  EXPECT_FALSE(s.rank_extents(1).empty());
+  EXPECT_TRUE(s.rank_extents(2).empty());
+  EXPECT_FALSE(s.rank_extents(3).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Generator determinism: case i under seed s is a pure function of (s, i).
+
+TEST(ScenarioGen, Deterministic) {
+  const std::uint64_t seed = mcio::testing::test_seed();
+  const ScenarioGen a(seed);
+  const ScenarioGen b(seed);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(a.generate(i), b.generate(i)) << "case " << i;
+  }
+}
+
+TEST(ScenarioGen, SeedsDiffer) {
+  const ScenarioGen a(1);
+  const ScenarioGen b(2);
+  int differing = 0;
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    if (!(a.generate(i) == b.generate(i))) ++differing;
+  }
+  EXPECT_GT(differing, 5);
+}
+
+TEST(ScenarioGen, CasesValidateAndFitBudget) {
+  const ScenarioGen gen(mcio::testing::test_seed() + 2);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const Scenario s = gen.generate(i);
+    ASSERT_NO_THROW(s.validate()) << "case " << i;
+    EXPECT_LE(s.total_bytes(), gen.limits().max_total_bytes)
+        << "case " << i;
+    EXPECT_LE(s.nranks, s.nodes * s.ranks_per_node) << "case " << i;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Minimizer, driven by synthetic predicates (no simulator runs).
+
+Scenario big_scenario() {
+  Scenario s;
+  s.nodes = 6;
+  s.ranks_per_node = 6;
+  s.nranks = 36;
+  s.kind = PatternKind::kIor;
+  s.block = 4096;
+  s.stride = 8192;
+  s.count = 16;
+  s.segments = 4;
+  s.fault_denial = 0.1;
+  s.fault_exhaust = 0.05;
+  s.tail_bytes = 13;
+  s.hole_every = 3;
+  s.mem_stdev = 0.5;
+  s.validate();
+  return s;
+}
+
+TEST(Minimizer, ShrinksToPredicateBoundary) {
+  // The "failure" needs at least 3 ranks and blocks of at least 8 bytes;
+  // greedy shrinking should land exactly on that boundary and strip every
+  // irrelevant feature (faults, tails, holes, exotic pattern kind).
+  const auto pred = [](const Scenario& s) {
+    return s.nranks >= 3 && s.block >= 8;
+  };
+  const MinimizeResult r = minimize(big_scenario(), pred);
+  EXPECT_TRUE(pred(r.scenario));
+  ASSERT_NO_THROW(r.scenario.validate());
+  EXPECT_EQ(r.scenario.nranks, 3);
+  EXPECT_EQ(r.scenario.block, 8u);
+  EXPECT_EQ(r.scenario.fault_denial, 0.0);
+  EXPECT_EQ(r.scenario.fault_exhaust, 0.0);
+  EXPECT_EQ(r.scenario.tail_bytes, 0u);
+  EXPECT_EQ(r.scenario.hole_every, 0u);
+  EXPECT_EQ(r.scenario.kind, PatternKind::kStrided);
+  EXPECT_GT(r.accepted, 0);
+  EXPECT_LE(r.evals, MinimizeOptions{}.max_evals);
+}
+
+TEST(Minimizer, AlwaysFailingShrinksToTrivial) {
+  const MinimizeResult r =
+      minimize(big_scenario(), [](const Scenario&) { return true; });
+  EXPECT_EQ(r.scenario.nranks, 1);
+  EXPECT_LE(r.scenario.total_bytes(), 64u);
+}
+
+TEST(Minimizer, RequiresFailingInput) {
+  EXPECT_THROW(
+      minimize(big_scenario(), [](const Scenario&) { return false; }),
+      util::Error);
+}
+
+TEST(Minimizer, HonorsEvalBudget) {
+  int calls = 0;
+  MinimizeOptions opts;
+  opts.max_evals = 10;
+  const MinimizeResult r = minimize(
+      big_scenario(),
+      [&calls](const Scenario&) {
+        ++calls;
+        return true;
+      },
+      opts);
+  EXPECT_LE(r.evals, opts.max_evals + 1);  // +1 for the entry check
+  EXPECT_EQ(calls, r.evals);
+}
+
+// ---------------------------------------------------------------------------
+// Oracle smoke: tiny scenarios through the full differential harness.
+
+TEST(Oracle, CleanStridedScenarioPasses) {
+  Scenario s;
+  s.nodes = 2;
+  s.ranks_per_node = 2;
+  s.nranks = 4;
+  s.kind = PatternKind::kStrided;
+  s.block = 4096;
+  s.stride = 16384;
+  s.count = 4;
+  s.validate();
+  const DiffResult d = run_differential(s);
+  EXPECT_TRUE(d.ok()) << d.describe();
+  for (const auto& run : d.runs) {
+    EXPECT_TRUE(run.completed);
+    EXPECT_TRUE(run.pattern_ok) << run.pattern_error;
+    EXPECT_TRUE(run.findings.empty());
+  }
+  EXPECT_EQ(d.run(DriverKind::kMccio).file_hash,
+            d.run(DriverKind::kIndependent).file_hash);
+}
+
+TEST(Oracle, OverlapScenarioToleratesDuplicates) {
+  Scenario s;
+  s.nodes = 2;
+  s.ranks_per_node = 2;
+  s.nranks = 4;
+  s.kind = PatternKind::kOverlap;
+  s.block = 2048;
+  s.stride = 4096;
+  s.count = 3;
+  s.validate();
+  ASSERT_TRUE(s.has_cross_rank_overlap());
+  const DiffResult d = run_differential(s);
+  EXPECT_TRUE(d.ok()) << d.describe();
+  // The independent baseline writes the shared region once per rank, so
+  // duplicate findings must have been raised — and tolerated.
+  EXPECT_GT(d.run(DriverKind::kIndependent).tolerated_duplicates, 0u);
+}
+
+}  // namespace
+}  // namespace mcio::fuzz

@@ -51,7 +51,7 @@ TEST(Engine, ParkAndUnparkTransfersControl) {
   Engine engine;
   bool woke = false;
   const int sleeper = engine.spawn([&](Actor& a) {
-    a.park();
+    a.park();  // lint:allow unobserved-park (scheduler's own test)
     woke = true;
     EXPECT_GE(a.now(), 2.5);
   });
@@ -67,7 +67,9 @@ TEST(Engine, ParkAndUnparkTransfersControl) {
 
 TEST(Engine, DeadlockDetected) {
   Engine engine;
-  engine.spawn([](Actor& a) { a.park(); });  // nobody will wake it
+  engine.spawn(
+      [](Actor& a) { a.park(); });  // lint:allow unobserved-park (nobody
+                                    // will wake it: the deadlock test)
   EXPECT_THROW(engine.run(), util::Error);
 }
 

@@ -4,6 +4,8 @@
 // and the received bytes.
 #pragma once
 
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <string>
@@ -19,6 +21,24 @@
 #include "workloads/pattern.h"
 
 namespace mcio::testing {
+
+/// Seed for randomized tests. Defaults to 42 so runs are reproducible;
+/// `MCIO_TEST_SEED=<n>` overrides it to explore other schedules. The
+/// effective seed is printed once so a failing run can always be replayed.
+inline std::uint64_t test_seed() {
+  static const std::uint64_t seed = [] {
+    std::uint64_t s = 42;
+    if (const char* env = std::getenv("MCIO_TEST_SEED")) {
+      s = std::strtoull(env, nullptr, 10);
+    }
+    std::fprintf(stderr,
+                 "[mcio] randomized tests seeded with %llu "
+                 "(override with MCIO_TEST_SEED)\n",
+                 static_cast<unsigned long long>(s));
+    return s;
+  }();
+  return seed;
+}
 
 struct MiniClusterOptions {
   int num_nodes = 3;
@@ -77,7 +97,7 @@ using PlanFactory =
 /// buffers. Throws util::Error (failing the test) on any mismatch.
 inline void round_trip(MiniCluster& cluster, io::CollectiveDriver& driver,
                        int nranks, const PlanFactory& make_plan,
-                       std::uint64_t seed = 42,
+                       std::uint64_t seed = test_seed(),
                        const io::Hints& hints = io::Hints{},
                        metrics::CollectiveStats* stats = nullptr) {
   const std::string path = "/roundtrip";

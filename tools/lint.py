@@ -5,13 +5,17 @@ Run from the repository root (CI runs it in the static-analysis job):
 
     python3 tools/lint.py [paths...]
 
-Rules, all scoped to src/ (see DESIGN.md §8 for the rationale):
+Rules, scoped to src/ and tests/ (see DESIGN.md §8 for the rationale):
 
   raw-assert          `assert(...)` is compiled out in release builds; the
                       simulator is a correctness oracle, so invariants must
                       use MCIO_CHECK* (always on, throws util::Error).
   std-rand            `std::rand`/`srand` is hidden global state and breaks
                       bit-for-bit reproducibility; draw from util::Rng.
+  time-seeded-rng     an RNG seeded from the wall clock or random_device
+                      produces unreplayable runs; randomized tests must
+                      seed from an explicit constant or testing::test_seed()
+                      (override with MCIO_TEST_SEED) so any failure replays.
   untagged-narrowing  a `.size()` (size_t) value bound to an `int` without
                       an explicit static_cast silently truncates at scale;
                       tag the narrowing with static_cast<int>(...).
@@ -34,6 +38,16 @@ SRC_EXTENSIONS = {".h", ".cc"}
 RE_ASSERT = re.compile(r"(?<![\w_])assert\s*\(")
 RE_STATIC_ASSERT = re.compile(r"static_assert\s*\(")
 RE_RAND = re.compile(r"(?<![\w_])(?:std::)?s?rand\s*\(")
+# An RNG engine constructed/seeded with a nondeterministic source on the
+# same statement: std::mt19937 g(time(0)), util::Rng(random_device{}()),
+# rng.seed(chrono::...), etc.
+RE_RNG_ENGINE = re.compile(
+    r"(?:mt19937(?:_64)?|default_random_engine|minstd_rand0?|"
+    r"ranlux\d+\w*|knuth_b|util::Rng|Rng)\b[^;]*[({]"
+)
+RE_NONDET_SEED = re.compile(
+    r"random_device|(?<![\w_])time\s*\(|::time\b|chrono\s*::|clock\s*\(")
+RE_SEED_CALL = re.compile(r"\.seed\s*\(")
 # `int x = ....size()` / `int x(....size())` with no cast tag.
 RE_INT_FROM_SIZE = re.compile(
     r"(?<![\w_])(?:int|std::int32_t|int32_t)\s+\w+\s*[({=][^;]*\.size\(\)"
@@ -78,6 +92,14 @@ def lint_file(path: Path) -> list[tuple[Path, int, str, str]]:
                 (path, n, "std-rand",
                  "use util::Rng — std::rand is global state and not "
                  "reproducible"))
+        if ((RE_RNG_ENGINE.search(line) or RE_SEED_CALL.search(line))
+                and RE_NONDET_SEED.search(line)
+                and not allow(i, "time-seeded-rng")):
+            findings.append(
+                (path, n, "time-seeded-rng",
+                 "seed RNGs from an explicit constant or "
+                 "testing::test_seed() — wall-clock / random_device "
+                 "seeds make failures unreplayable"))
         if (RE_INT_FROM_SIZE.search(line)
                 and not RE_SIZE_CAST.search(line)
                 and not allow(i, "untagged-narrowing")):
@@ -99,7 +121,7 @@ def lint_file(path: Path) -> list[tuple[Path, int, str, str]]:
 
 
 def main(argv: list[str]) -> int:
-    roots = [Path(a) for a in argv[1:]] or [Path("src")]
+    roots = [Path(a) for a in argv[1:]] or [Path("src"), Path("tests")]
     files = []
     for root in roots:
         if root.is_file():
