@@ -245,6 +245,18 @@ inline void set_fault_counters(util::Json& point, const std::string& prefix,
       .set(prefix + "fallback_bytes", d.fallback_bytes);
 }
 
+/// Attaches the exchange-engine message counters of one collective phase
+/// to a JSON point, prefixed e.g. "normal_write_"/"mccio_read_" (the
+/// --json hierarchy schema): how many logical messages stayed on the node
+/// vs crossed the interconnect, and the bytes that crossed.
+inline void set_message_counters(util::Json& point,
+                                 const std::string& prefix,
+                                 const metrics::CollectiveStats& stats) {
+  point.set(prefix + "msgs_intra_node", stats.msgs_intra_node())
+      .set(prefix + "msgs_inter_node", stats.msgs_inter_node())
+      .set(prefix + "bytes_inter_node", stats.bytes_inter_node());
+}
+
 /// One experiment: collective write of the whole workload, cache flush,
 /// collective read; returns the paper-style aggregate bandwidths.
 inline RunResult run_experiment(const RunOptions& opt,

@@ -20,6 +20,7 @@ int main(int argc, char** argv) {
   const auto dim =
       static_cast<std::uint64_t>(cli.get_int("dim", 1024));
   const double stdev = cli.get_double("mem-stdev", 0.5);
+  const bool hier = cli.get_bool("hier", false);
   bench::JsonReporter rep(cli, "fig6_collperf");
   bench::configure_audit(cli);
   cli.check_unused();
@@ -48,6 +49,7 @@ int main(int argc, char** argv) {
     base.testbed = tb;
     base.mem_mean = mem;
     base.mem_stdev = stdev;
+    base.hints.cb_node_leaders = hier;
     const auto normal = bench::run_experiment(base, make_plan);
 
     bench::RunOptions mc = base;
@@ -56,14 +58,19 @@ int main(int argc, char** argv) {
 
     const double wr_gain = mccio.write_bw / normal.write_bw - 1.0;
     const double rd_gain = mccio.read_bw / normal.read_bw - 1.0;
-    rep.add_point(util::format_bytes(mem))
-        .set("mem_bytes", mem)
-        .set("normal_write_mbs", normal.write_bw / 1e6)
-        .set("mccio_write_mbs", mccio.write_bw / 1e6)
-        .set("normal_read_mbs", normal.read_bw / 1e6)
-        .set("mccio_read_mbs", mccio.read_bw / 1e6)
-        .set("mccio_aggregators", mccio.write_stats.num_aggregators())
-        .set("mccio_groups", mccio.write_stats.num_groups());
+    util::Json& point =
+        rep.add_point(util::format_bytes(mem))
+            .set("mem_bytes", mem)
+            .set("normal_write_mbs", normal.write_bw / 1e6)
+            .set("mccio_write_mbs", mccio.write_bw / 1e6)
+            .set("normal_read_mbs", normal.read_bw / 1e6)
+            .set("mccio_read_mbs", mccio.read_bw / 1e6)
+            .set("mccio_aggregators", mccio.write_stats.num_aggregators())
+            .set("mccio_groups", mccio.write_stats.num_groups());
+    bench::set_message_counters(point, "normal_write_", normal.write_stats);
+    bench::set_message_counters(point, "normal_read_", normal.read_stats);
+    bench::set_message_counters(point, "mccio_write_", mccio.write_stats);
+    bench::set_message_counters(point, "mccio_read_", mccio.read_stats);
     wr_gain_sum += wr_gain;
     rd_gain_sum += rd_gain;
     ++count;

@@ -37,7 +37,11 @@ io::ExchangePlan MccioDriver::build_plan(io::CollContext& ctx,
   mine.is_virtual = plan.buffer.is_virtual() ? 1 : 0;
   mine.node = ctx.comm->node_of(ctx.comm->rank());
   mine.node_available = ctx.memory->available(mine.node);
-  const auto all = ctx.comm->allgather(mine);
+  // With node leaders on, the metadata allgather itself goes hierarchical:
+  // O(nodes) NIC messages instead of O(ranks).
+  const auto all = ctx.hints.cb_node_leaders
+                       ? ctx.comm->allgather_hier(mine)
+                       : ctx.comm->allgather(mine);
 
   io::ExchangePlan xplan;
   xplan.rank_bounds.reserve(all.size());
@@ -160,6 +164,22 @@ io::ExchangePlan MccioDriver::build_plan(io::CollContext& ctx,
     groups.push_back(std::move(g));
   }
   xplan.num_groups = static_cast<int>(groups.size());
+
+  // The node-leader hierarchy banks on group division never splitting a
+  // physical node: a leader combines its whole node's payload per domain,
+  // which only stays single-copy if every co-located data rank shuffles
+  // within one group's domains. divide_groups cuts on node boundaries by
+  // construction; keep that invariant loud.
+  if (ctx.hints.cb_node_leaders) {
+    std::map<int, std::size_t> node_group;
+    for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+      for (const int r : groups[gi].ranks) {
+        const int node = rank_nodes[static_cast<std::size_t>(r)];
+        const auto [it, inserted] = node_group.emplace(node, gi);
+        MCIO_CHECK_EQ(it->second, gi);
+      }
+    }
+  }
 
   // 2-4. Per group: memory-aware workload partition + aggregator
   // location. Hosts at or above Mem_min each contribute up to N_ah

@@ -175,6 +175,11 @@ std::vector<Transform> transforms() {
     s.group_division = s.remerging = s.memory_aware = true;
     return true;
   });
+  add("no-node-leaders", [](Scenario& s) {
+    if (!s.node_leaders) return false;
+    s.node_leaders = false;
+    return true;
+  });
   add("no-sieving", [](Scenario& s) {
     if (!s.data_sieving_writes && s.ds_max_gap == 0) return false;
     s.data_sieving_writes = false;

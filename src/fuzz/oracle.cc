@@ -62,13 +62,16 @@ class AuditorScope {
   bool was_deferred_ = false;
 };
 
-io::Hints hints_for(const Scenario& s) {
+io::Hints hints_for(const Scenario& s, DriverKind kind) {
   io::Hints h;
   h.cb_buffer_size = s.cb_buffer_size;
   h.cb_nodes = s.cb_nodes;
   h.align_file_domains = s.align_file_domains;
   h.data_sieving_writes = s.data_sieving_writes;
   h.ds_max_gap = s.ds_max_gap;
+  // Hierarchy goes on the MCCIO leg only: the flat two-phase run then
+  // serves as the byte oracle for the node-leader combine/scatter path.
+  h.cb_node_leaders = s.node_leaders && kind == DriverKind::kMccio;
   return h;
 }
 
@@ -159,7 +162,7 @@ RunOutcome run_scenario(const Scenario& scenario, DriverKind kind) {
       break;
   }
 
-  const io::Hints hints = hints_for(scenario);
+  const io::Hints hints = hints_for(scenario, kind);
   const io::MPIFile::Services services{&fs, &memory};
   const std::string path = "/fuzz";
 

@@ -210,7 +210,8 @@ std::uint64_t Scenario::total_bytes() const {
   X(pattern_seed)                    \
   X(zero_rank_mask)                  \
   X(tail_bytes)                      \
-  X(hole_every)
+  X(hole_every)                      \
+  X(node_leaders)
 
 namespace {
 

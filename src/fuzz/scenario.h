@@ -89,6 +89,10 @@ struct Scenario {
   std::uint64_t tail_bytes = 0;
   /// When nonzero, every hole_every-th extent of a rank's plan is dropped.
   std::uint64_t hole_every = 0;
+  /// Run the MCCIO driver with the node-leader hierarchy
+  /// (hints.cb_node_leaders); the oracle then differences hierarchical
+  /// aggregation against the flat two-phase and independent drivers.
+  bool node_leaders = false;
 
   /// The file extents rank `rank` accesses — normalized (sorted, disjoint,
   /// merged), possibly empty. Pure function of (*this, rank).

@@ -141,6 +141,9 @@ Scenario ScenarioGen::generate(std::uint64_t case_index) const {
   if (rng.uniform_double() < 0.3) {
     s.hole_every = 2 + rng.uniform_u64(4);
   }
+  // Drawn last so earlier draw sequences (and thus historical repro
+  // cases) are unchanged by the knob's introduction.
+  s.node_leaders = rng.uniform_double() < 0.5;
 
   // Budget: shrink the pattern until the case fits the byte cap (keeps
   // soaks fast and bounds the per-case allocation).

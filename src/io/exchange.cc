@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 #include <limits>
+#include <map>
 
 #ifdef MCIO_FUZZ_BUG
 #include <cstdlib>
@@ -127,6 +128,79 @@ TwoPhaseExchange::TwoPhaseExchange(CollContext& ctx, const AccessPlan& plan,
       client_domains_.push_back(static_cast<int>(i));
     }
   }
+  // Node-leader hierarchy. The hint (like the MemoryManager) is shared by
+  // every rank, so the extra tag reservations stay collective; with the
+  // hint off nothing below runs and the flat tag sequence is untouched.
+  hier_ = ctx_.hints.cb_node_leaders && ctx_.comm->size() > 1;
+  if (hier_) {
+    tag_hier_lists_ = ctx_.comm->reserve_tags(1);
+    if (degraded_) tag_hier_wsize_ = ctx_.comm->reserve_tags(1);
+    tag_hier_data_base_ =
+        ctx_.comm->reserve_tags(std::max<int>(1, static_cast<int>(
+                                                     xplan_.domains.size())));
+    build_hierarchy();
+  }
+}
+
+void TwoPhaseExchange::build_hierarchy() {
+  // Group data ranks (non-empty bounds) by physical node; a node's lowest
+  // data rank leads it. Independent-fallback and idle ranks stay outside
+  // the client-side hierarchy entirely — a fully exhausted node simply has
+  // no group — though any rank may still serve as an aggregator.
+  std::map<int, std::vector<int>> by_node;
+  for (int s = 0; s < ctx_.comm->size(); ++s) {
+    if (xplan_.rank_bounds[static_cast<std::size_t>(s)].empty()) continue;
+    by_node[ctx_.comm->node_of(s)].push_back(s);
+  }
+  groups_hier_.reserve(by_node.size());
+  for (auto& [node, members] : by_node) {
+    groups_hier_.push_back(NodeGroup{members.front(), std::move(members)});
+  }
+  std::sort(groups_hier_.begin(), groups_hier_.end(),
+            [](const NodeGroup& a, const NodeGroup& b) {
+              return a.leader < b.leader;
+            });
+  for (const NodeGroup& g : groups_hier_) {
+    if (std::binary_search(g.members.begin(), g.members.end(), my_rank())) {
+      members_ = g.members;
+      my_leader_ = g.leader;
+      break;
+    }
+  }
+  is_leader_ = my_leader_ == my_rank();
+  if (!is_leader_) return;
+  for (std::size_t i = 0; i < xplan_.domains.size(); ++i) {
+    const FileDomain& d = xplan_.domains[i];
+    for (const int m : members_) {
+      if (util::intersect(xplan_.rank_bounds[static_cast<std::size_t>(m)],
+                          d.extent)) {
+        node_domains_.push_back(NodeDomain{static_cast<int>(i), {}, {}});
+        break;
+      }
+    }
+  }
+}
+
+void TwoPhaseExchange::direct_sources(const FileDomain& d,
+                                      std::vector<int>* out) const {
+  if (!hier_) {
+    for (int s = 0; s < ctx_.comm->size(); ++s) {
+      const Extent b = xplan_.rank_bounds[static_cast<std::size_t>(s)];
+      if (b.empty() || !util::intersect(b, d.extent)) continue;
+      out->push_back(s);
+    }
+    return;
+  }
+  // Groups ascend by leader, so the appended set stays sorted.
+  for (const NodeGroup& g : groups_hier_) {
+    for (const int m : g.members) {
+      if (util::intersect(xplan_.rank_bounds[static_cast<std::size_t>(m)],
+                          d.extent)) {
+        out->push_back(g.leader);
+        break;
+      }
+    }
+  }
 }
 
 int TwoPhaseExchange::my_rank() const { return ctx_.comm->rank(); }
@@ -144,6 +218,12 @@ void TwoPhaseExchange::charge_copy(int node, std::uint64_t bytes,
       ctx_.rank->machine().cluster().membus(node).serve(
           actor().now(), static_cast<double>(bytes), bw_scale);
   actor().advance_to(done);
+}
+
+void TwoPhaseExchange::count_msg(int dst, std::uint64_t bytes) {
+  if (ctx_.stats != nullptr) {
+    ctx_.stats->record_msg(my_node(), ctx_.comm->node_of(dst), bytes);
+  }
 }
 
 // Virtual seconds between the negotiation's allreduce and the aligned
@@ -172,11 +252,60 @@ void TwoPhaseExchange::send_extent_lists() {
     const FileDomain& d = xplan_.domains[static_cast<std::size_t>(di)];
     const ExtentList part = local.clipped(d.extent);
     const auto& runs = part.runs();
-    ctx_.comm->send_blob(
-        d.aggregator, tag_lists_,
-        std::span<const std::byte>(
-            reinterpret_cast<const std::byte*>(runs.data()),
-            runs.size() * sizeof(Extent)));
+    const std::span<const std::byte> blob(
+        reinterpret_cast<const std::byte*>(runs.data()),
+        runs.size() * sizeof(Extent));
+    if (hier_) {
+      // Members fold their lists into the leader over shm; the leader's
+      // own list is folded locally in leader_collect_extent_lists().
+      if (is_leader_) continue;
+      ctx_.comm->send_blob_shm(my_leader_, tag_hier_lists_, blob);
+      count_msg(my_leader_, blob.size());
+    } else {
+      ctx_.comm->send_blob(d.aggregator, tag_lists_, blob);
+      count_msg(d.aggregator, blob.size());
+    }
+  }
+}
+
+void TwoPhaseExchange::leader_collect_extent_lists() {
+  if (!is_leader_) return;
+  const ExtentList local = ExtentList::normalize(plan_.extents);
+  for (NodeDomain& nd : node_domains_) {
+    const FileDomain& d =
+        xplan_.domains[static_cast<std::size_t>(nd.index)];
+    // Per-member FIFO: a member emits its client domains ascending, and
+    // the node domains it intersects are exactly its client domains, so
+    // receiving (domain asc, member asc) matches each member's order.
+    for (const int m : members_) {
+      if (!util::intersect(xplan_.rank_bounds[static_cast<std::size_t>(m)],
+                           d.extent)) {
+        continue;
+      }
+      ExtentList list;
+      if (m == my_rank()) {
+        list = local.clipped(d.extent);
+      } else {
+        const auto bytes = ctx_.comm->recv_blob(m, tag_hier_lists_);
+        MCIO_CHECK_EQ(bytes.size() % sizeof(Extent), 0u);
+        std::vector<Extent> runs(bytes.size() / sizeof(Extent));
+        if (!runs.empty()) {
+          std::memcpy(runs.data(), bytes.data(), bytes.size());
+        }
+        list = ExtentList::normalize(std::move(runs));
+      }
+      if (list.empty()) continue;
+      nd.merged.merge(list);
+      nd.per_member.emplace_back(m, std::move(list));
+    }
+    // Forward the node's merged list (possibly empty — the aggregator
+    // expects one blob per intersecting node).
+    const auto& runs = nd.merged.runs();
+    const std::span<const std::byte> blob(
+        reinterpret_cast<const std::byte*>(runs.data()),
+        runs.size() * sizeof(Extent));
+    ctx_.comm->send_blob(d.aggregator, tag_lists_, blob);
+    count_msg(d.aggregator, blob.size());
   }
 }
 
@@ -190,14 +319,13 @@ void TwoPhaseExchange::recv_extent_lists() {
     int source;
   };
   std::vector<Expected> expected;
+  std::vector<int> srcs;
   for (DomainWork& work : owned_) {
     const FileDomain& d =
         xplan_.domains[static_cast<std::size_t>(work.index)];
-    for (int s = 0; s < ctx_.comm->size(); ++s) {
-      const Extent b = xplan_.rank_bounds[static_cast<std::size_t>(s)];
-      if (b.empty() || !util::intersect(b, d.extent)) continue;
-      expected.push_back(Expected{&work, s});
-    }
+    srcs.clear();
+    direct_sources(d, &srcs);
+    for (const int s : srcs) expected.push_back(Expected{&work, s});
   }
   if (expected.empty()) return;
 
@@ -308,21 +436,24 @@ TwoPhaseExchange::BufferGrant TwoPhaseExchange::acquire_buffer(
 void TwoPhaseExchange::negotiate_buffers() {
   grants_.clear();
   grants_.reserve(owned_.size());
+  std::vector<int> srcs;
   for (const DomainWork& work : owned_) {
     const FileDomain& d =
         xplan_.domains[static_cast<std::size_t>(work.index)];
     BufferGrant g = acquire_buffer(d.buffer_bytes, d.extent.offset);
-    // Announce the final window size to every rank whose request
-    // intersects the domain (the same set that sent extent lists), so
-    // both sides window the data stream identically.
+    // Announce the final window size to every direct source (the same set
+    // that sent extent lists — all intersecting ranks on the flat path,
+    // their leaders on the hierarchical one), so both sides window the
+    // data stream identically.
     const std::uint64_t wsize = g.window_bytes;
-    for (int s = 0; s < ctx_.comm->size(); ++s) {
-      const Extent b = xplan_.rank_bounds[static_cast<std::size_t>(s)];
-      if (b.empty() || !util::intersect(b, d.extent)) continue;
+    srcs.clear();
+    direct_sources(d, &srcs);
+    for (const int s : srcs) {
       ctx_.comm->send(
           s, tag_wsize_,
           ConstPayload::real(reinterpret_cast<const std::byte*>(&wsize),
                              sizeof(wsize)));
+      count_msg(s, sizeof(wsize));
     }
     grants_.push_back(std::move(g));
   }
@@ -346,6 +477,9 @@ void TwoPhaseExchange::client_send_data() {
   PieceCursor cursor(plan_.extents);
   std::vector<std::byte> tmp;   // pack staging, reused across windows
   std::vector<Piece> pieces;    // window pieces, reused across windows
+  // Hierarchical mode: members stream their packed windows into the node
+  // leader over shm instead of to the aggregator (leaders skip this phase
+  // entirely — their data folds in during leader_combine_write()).
   for (std::size_t ci = 0; ci < client_domains_.size(); ++ci) {
     const int di = client_domains_[ci];
     const FileDomain& d = xplan_.domains[static_cast<std::size_t>(di)];
@@ -358,6 +492,9 @@ void TwoPhaseExchange::client_send_data() {
       for (const Piece& p : pieces) total += p.len;
       // Packing cost (skipped when the data is already one run).
       if (pieces.size() > 1) charge_copy(my_node(), total, 1.0);
+      const int dst = hier_ ? my_leader_ : d.aggregator;
+      const int tag = hier_ ? tag_hier_data_base_ + di
+                            : tag_data_base_ + di;
       if (xplan_.real_data) {
         tmp.resize(total);
         std::uint64_t off = 0;
@@ -369,11 +506,244 @@ void TwoPhaseExchange::client_send_data() {
 #ifdef MCIO_FUZZ_BUG
         fuzz_bug_corrupt(tmp.data(), tmp.size(), w.offset);
 #endif
-        ctx_.comm->send(d.aggregator, tag_data_base_ + di,
-                        ConstPayload::of(tmp));
+        if (hier_) {
+          ctx_.comm->send_shm(dst, tag, ConstPayload::of(tmp));
+        } else {
+          ctx_.comm->send(dst, tag, ConstPayload::of(tmp));
+        }
+      } else if (hier_) {
+        ctx_.comm->send_shm(dst, tag, ConstPayload::virtual_bytes(total));
       } else {
-        ctx_.comm->send(d.aggregator, tag_data_base_ + di,
+        ctx_.comm->send(dst, tag, ConstPayload::virtual_bytes(total));
+      }
+      count_msg(dst, total);
+    }
+  }
+}
+
+void TwoPhaseExchange::recv_window_sizes_hier() {
+  if (is_leader_) {
+    // Window sizes arrive per node domain (each aggregator announces its
+    // owned domains ascending; per-source FIFO lines them up), then fan
+    // out to every member with data in the domain.
+    node_window_.assign(node_domains_.size(), 0);
+    for (std::size_t i = 0; i < node_domains_.size(); ++i) {
+      const NodeDomain& nd = node_domains_[i];
+      const FileDomain& d =
+          xplan_.domains[static_cast<std::size_t>(nd.index)];
+      std::uint64_t wsize = 0;
+      ctx_.comm->recv(d.aggregator, tag_wsize_,
+                      Payload::real(reinterpret_cast<std::byte*>(&wsize),
+                                    sizeof(wsize)));
+      MCIO_CHECK_GT(wsize, 0u);
+      node_window_[i] = wsize;
+      for (const int m : members_) {
+        if (m == my_rank()) continue;
+        if (!util::intersect(
+                xplan_.rank_bounds[static_cast<std::size_t>(m)],
+                d.extent)) {
+          continue;
+        }
+        ctx_.comm->send_shm(
+            m, tag_hier_wsize_,
+            ConstPayload::real(reinterpret_cast<const std::byte*>(&wsize),
+                               sizeof(wsize)));
+        count_msg(m, sizeof(wsize));
+      }
+    }
+  } else if (my_leader_ >= 0) {
+    // Member: the leader forwards my intersecting domains ascending —
+    // exactly my client domains.
+    client_window_.assign(client_domains_.size(), 0);
+    for (std::size_t i = 0; i < client_domains_.size(); ++i) {
+      std::uint64_t wsize = 0;
+      ctx_.comm->recv(my_leader_, tag_hier_wsize_,
+                      Payload::real(reinterpret_cast<std::byte*>(&wsize),
+                                    sizeof(wsize)));
+      MCIO_CHECK_GT(wsize, 0u);
+      client_window_[i] = wsize;
+    }
+  }
+}
+
+void TwoPhaseExchange::leader_combine_write() {
+  if (!is_leader_) return;
+  PieceCursor cursor(plan_.extents);  // own data; windows ascend globally
+  std::vector<Piece> pieces;
+  std::vector<std::byte> stage;  // merged window staging
+  std::vector<std::byte> buf;    // member receive staging
+  std::vector<std::byte> pack;   // forward packing
+  struct MemberSweep {
+    int member = -1;
+    util::ExtentCursor cursor;
+    util::ExtentList clip;
+  };
+  std::vector<MemberSweep> sweeps;
+  util::ExtentList mclip;
+  for (std::size_t k = 0; k < node_domains_.size(); ++k) {
+    NodeDomain& nd = node_domains_[k];
+    const FileDomain& d =
+        xplan_.domains[static_cast<std::size_t>(nd.index)];
+    const std::uint64_t win = degraded_ ? node_window_[k] : d.buffer_bytes;
+    sweeps.clear();
+    for (const auto& [m, list] : nd.per_member) {
+      sweeps.push_back(MemberSweep{m, util::ExtentCursor(list), {}});
+    }
+    util::ExtentCursor merged(nd.merged);
+    for (Extent w{}; next_window(d.extent, win, &w);) {
+      merged.clipped_into(w, &mclip);
+      if (mclip.empty()) continue;
+      const Extent span = mclip.bounds();
+      if (xplan_.real_data) stage.resize(span.len);
+      // Overlay members ascending — within the node the same overlap
+      // winner as the flat rank-ascending overlay at the aggregator.
+      for (MemberSweep& sw : sweeps) {
+        sw.cursor.clipped_into(w, &sw.clip);
+        if (sw.clip.empty()) continue;
+        const std::uint64_t n = sw.clip.total_bytes();
+        if (sw.member == my_rank()) {
+          // Own pieces fold straight into the staging: the single copy.
+          cursor.advance(w, &pieces);
+          charge_copy(my_node(), n, 1.0);
+          if (xplan_.real_data) {
+            for (const Piece& p : pieces) {
+              std::memcpy(stage.data() + (p.file_offset - span.offset),
+                          plan_.buffer.data + p.buf_offset, p.len);
+            }
+          }
+        } else {
+          // The member's packed window blob. Its shm transfer already
+          // modeled the single copy, so no extra overlay charge here.
+          if (xplan_.real_data) {
+            buf.resize(n);
+            ctx_.comm->recv(sw.member, tag_hier_data_base_ + nd.index,
+                            Payload::of(buf));
+            std::uint64_t off = 0;
+            for (const Extent& run : sw.clip.runs()) {
+              std::memcpy(stage.data() + (run.offset - span.offset),
+                          buf.data() + off, run.len);
+              off += run.len;
+            }
+          } else {
+            ctx_.comm->recv(sw.member, tag_hier_data_base_ + nd.index,
+                            Payload::virtual_bytes(n));
+          }
+          if (ctx_.stats != nullptr) {
+            ctx_.stats->record_shuffle(ctx_.comm->node_of(sw.member),
+                                       my_node(), n);
+          }
+        }
+      }
+      // One combined message per window to the aggregator.
+      const std::uint64_t total = mclip.total_bytes();
+      if (mclip.runs().size() > 1) charge_copy(my_node(), total, 1.0);
+      if (xplan_.real_data) {
+        pack.resize(total);
+        std::uint64_t off = 0;
+        for (const Extent& run : mclip.runs()) {
+          std::memcpy(pack.data() + off,
+                      stage.data() + (run.offset - span.offset), run.len);
+          off += run.len;
+        }
+        ctx_.comm->send(d.aggregator, tag_data_base_ + nd.index,
+                        ConstPayload::of(pack));
+      } else {
+        ctx_.comm->send(d.aggregator, tag_data_base_ + nd.index,
                         ConstPayload::virtual_bytes(total));
+      }
+      count_msg(d.aggregator, total);
+    }
+  }
+}
+
+void TwoPhaseExchange::leader_scatter_read() {
+  if (!is_leader_) return;
+  PieceCursor cursor(plan_.extents);
+  std::vector<Piece> pieces;
+  std::vector<std::byte> stage;  // merged window staging
+  std::vector<std::byte> buf;    // aggregator receive staging
+  std::vector<std::byte> slice;  // per-member packing
+  struct MemberSweep {
+    int member = -1;
+    util::ExtentCursor cursor;
+    util::ExtentList clip;
+  };
+  std::vector<MemberSweep> sweeps;
+  util::ExtentList mclip;
+  for (std::size_t k = 0; k < node_domains_.size(); ++k) {
+    NodeDomain& nd = node_domains_[k];
+    const FileDomain& d =
+        xplan_.domains[static_cast<std::size_t>(nd.index)];
+    const std::uint64_t win = degraded_ ? node_window_[k] : d.buffer_bytes;
+    sweeps.clear();
+    for (const auto& [m, list] : nd.per_member) {
+      sweeps.push_back(MemberSweep{m, util::ExtentCursor(list), {}});
+    }
+    util::ExtentCursor merged(nd.merged);
+    for (Extent w{}; next_window(d.extent, win, &w);) {
+      merged.clipped_into(w, &mclip);
+      if (mclip.empty()) continue;
+      const Extent span = mclip.bounds();
+      const std::uint64_t total = mclip.total_bytes();
+      // The aggregator ships the node's merged runs as one blob.
+      if (xplan_.real_data) {
+        buf.resize(total);
+        ctx_.comm->recv(d.aggregator, tag_data_base_ + nd.index,
+                        Payload::of(buf));
+        stage.resize(span.len);
+        std::uint64_t off = 0;
+        for (const Extent& run : mclip.runs()) {
+          std::memcpy(stage.data() + (run.offset - span.offset),
+                      buf.data() + off, run.len);
+          off += run.len;
+        }
+      } else {
+        ctx_.comm->recv(d.aggregator, tag_data_base_ + nd.index,
+                        Payload::virtual_bytes(total));
+      }
+      // No staging-unpack charge: the blob arrives packed in ascending
+      // run order, so member slices are cut straight out of it — their
+      // single copy is the shm serve below. The leader's own pieces are
+      // free too: it knows the merged run layout before the recv, so a
+      // derived-datatype receive scatters them in place — the same
+      // convention under which a flat client's single-piece recv pays no
+      // copy. (The stage rearrangement in the real-data branch is
+      // host-side bookkeeping, not modeled cost.)
+      for (MemberSweep& sw : sweeps) {
+        sw.cursor.clipped_into(w, &sw.clip);
+        if (sw.clip.empty()) continue;
+        const std::uint64_t n = sw.clip.total_bytes();
+        if (sw.member == my_rank()) {
+          cursor.advance(w, &pieces);
+          if (xplan_.real_data) {
+            for (const Piece& p : pieces) {
+              std::memcpy(plan_.buffer.data + p.buf_offset,
+                          stage.data() + (p.file_offset - span.offset),
+                          p.len);
+            }
+          }
+        } else {
+          if (xplan_.real_data) {
+            slice.resize(n);
+            std::uint64_t off = 0;
+            for (const Extent& run : sw.clip.runs()) {
+              std::memcpy(slice.data() + off,
+                          stage.data() + (run.offset - span.offset),
+                          run.len);
+              off += run.len;
+            }
+            ctx_.comm->send_shm(sw.member, tag_hier_data_base_ + nd.index,
+                                ConstPayload::of(slice));
+          } else {
+            ctx_.comm->send_shm(sw.member, tag_hier_data_base_ + nd.index,
+                                ConstPayload::virtual_bytes(n));
+          }
+          count_msg(sw.member, n);
+          if (ctx_.stats != nullptr) {
+            ctx_.stats->record_shuffle(my_node(),
+                                       ctx_.comm->node_of(sw.member), n);
+          }
+        }
       }
     }
   }
@@ -634,6 +1004,7 @@ void TwoPhaseExchange::aggregator_read() {
                           ConstPayload::virtual_bytes(n));
         }
         rec.bytes_sent += n;
+        count_msg(sw.source, n);
         if (ctx_.stats != nullptr) {
           ctx_.stats->record_shuffle(my_node(),
                                      ctx_.comm->node_of(sw.source), n);
@@ -649,11 +1020,16 @@ void TwoPhaseExchange::client_recv_data() {
   PieceCursor cursor(plan_.extents);
   std::vector<std::byte> tmp;   // scatter staging, reused across windows
   std::vector<Piece> pieces;    // window pieces, reused across windows
+  // Hierarchical mode: members take their slices from the node leader
+  // (leaders skip this phase — leader_scatter_read() already landed their
+  // pieces).
   for (std::size_t ci = 0; ci < client_domains_.size(); ++ci) {
     const int di = client_domains_[ci];
     const FileDomain& d = xplan_.domains[static_cast<std::size_t>(di)];
     const std::uint64_t win =
         degraded_ ? client_window_[ci] : d.buffer_bytes;
+    const int src = hier_ ? my_leader_ : d.aggregator;
+    const int tag = hier_ ? tag_hier_data_base_ + di : tag_data_base_ + di;
     for (Extent w{}; next_window(d.extent, win, &w);) {
       cursor.advance(w, &pieces);
       if (pieces.empty()) continue;
@@ -661,8 +1037,7 @@ void TwoPhaseExchange::client_recv_data() {
       for (const Piece& p : pieces) total += p.len;
       if (xplan_.real_data) {
         tmp.resize(total);
-        ctx_.comm->recv(d.aggregator, tag_data_base_ + di,
-                        Payload::of(tmp));
+        ctx_.comm->recv(src, tag, Payload::of(tmp));
         std::uint64_t off = 0;
         for (const Piece& p : pieces) {
           std::memcpy(plan_.buffer.data + p.buf_offset, tmp.data() + off,
@@ -670,8 +1045,7 @@ void TwoPhaseExchange::client_recv_data() {
           off += p.len;
         }
       } else {
-        ctx_.comm->recv(d.aggregator, tag_data_base_ + di,
-                        Payload::virtual_bytes(total));
+        ctx_.comm->recv(src, tag, Payload::virtual_bytes(total));
       }
       // Scatter cost (skipped when the data is one run).
       if (pieces.size() > 1) charge_copy(my_node(), total, 1.0);
@@ -684,6 +1058,7 @@ void TwoPhaseExchange::write() {
     ctx_.stats->set_groups(xplan_.num_groups);
   }
   send_extent_lists();
+  leader_collect_extent_lists();
   recv_extent_lists();
   if (degraded_) {
     // Degradation ladder + window-size negotiation: aggregators settle
@@ -694,10 +1069,15 @@ void TwoPhaseExchange::write() {
     // staggering the data phase, which keeps bandwidth monotone in the
     // fault rate.
     negotiate_buffers();
-    recv_window_sizes();
+    if (hier_) {
+      recv_window_sizes_hier();
+    } else {
+      recv_window_sizes();
+    }
     close_negotiation();
   }
-  client_send_data();
+  if (!hier_ || !is_leader_) client_send_data();
+  leader_combine_write();
   aggregator_write();
 }
 
@@ -706,14 +1086,20 @@ void TwoPhaseExchange::read() {
     ctx_.stats->set_groups(xplan_.num_groups);
   }
   send_extent_lists();
+  leader_collect_extent_lists();
   recv_extent_lists();
   if (degraded_) {
     negotiate_buffers();
-    recv_window_sizes();
+    if (hier_) {
+      recv_window_sizes_hier();
+    } else {
+      recv_window_sizes();
+    }
     close_negotiation();
   }
   aggregator_read();
-  client_recv_data();
+  leader_scatter_read();
+  if (!hier_ || !is_leader_) client_recv_data();
 }
 
 void TwoPhaseExchange::close_negotiation() {
@@ -724,7 +1110,8 @@ void TwoPhaseExchange::close_negotiation() {
   // at exactly max(arrival) + slack — one backed-off ladder then delays
   // the whole collective by precisely its own cost.
   actor().sync();
-  const double t = ctx_.comm->allreduce_max(actor().now());
+  const double t = hier_ ? ctx_.comm->allreduce_max_hier(actor().now())
+                         : ctx_.comm->allreduce_max(actor().now());
   actor().advance_to(
       std::max(actor().now(), t + kNegotiationCloseSlack));
 }

@@ -116,6 +116,21 @@ class TwoPhaseExchange {
     bool revoked = false;  ///< revocation already observed
   };
 
+  /// One physical node's data ranks (hierarchical mode): the lowest rank
+  /// is the leader; independent-fallback and idle ranks are excluded.
+  struct NodeGroup {
+    int leader = -1;
+    std::vector<int> members;  ///< ascending comm ranks, leader first
+  };
+
+  /// Leader-side state for one domain this node's members touch.
+  struct NodeDomain {
+    int index = -1;  ///< index into xplan_.domains
+    /// Per-member clipped lists, ascending by member rank.
+    std::vector<std::pair<int, util::ExtentList>> per_member;
+    util::ExtentList merged;  ///< union of the member lists
+  };
+
   // Phase helpers.
   void send_extent_lists();
   void recv_extent_lists();
@@ -126,6 +141,28 @@ class TwoPhaseExchange {
   void aggregator_write();
   void aggregator_read();
   void client_recv_data();
+
+  // Hierarchical (node-leader) stages, active when hints.cb_node_leaders:
+  // members move metadata and payloads into their leader over the node's
+  // shm channel; only leaders exchange with aggregators. The aggregator
+  // phases above are untouched — their sources simply become leaders.
+  void build_hierarchy();
+  /// Ranks that ship directly to `d`'s aggregator, ascending: every
+  /// intersecting rank on the flat path, one leader per intersecting node
+  /// on the hierarchical path. Appends to `out`.
+  void direct_sources(const FileDomain& d, std::vector<int>* out) const;
+  /// Leader: drain member extent lists, merge per domain, forward the
+  /// merged lists to the aggregators.
+  void leader_collect_extent_lists();
+  /// Degraded protocol: leaders take window sizes from aggregators and
+  /// fan them out to their members; members take them from their leader.
+  void recv_window_sizes_hier();
+  /// Leader write stage: per (domain, window) combine member payloads and
+  /// its own pieces into one staging buffer, forward merged runs.
+  void leader_combine_write();
+  /// Leader read stage: per (domain, window) take the merged blob from
+  /// the aggregator and scatter member slices over shm.
+  void leader_scatter_read();
 
   /// Runs the degradation ladder for one aggregation buffer: fault-aware
   /// lease attempts with exponential backoff in virtual time, then
@@ -139,6 +176,9 @@ class TwoPhaseExchange {
 
   /// Charges a packing/scatter memcpy on `node` and advances the actor.
   void charge_copy(int node, std::uint64_t bytes, double bw_scale);
+
+  /// Counts one logical message to `dst` (metrics only, no virtual time).
+  void count_msg(int dst, std::uint64_t bytes);
 
   CollContext& ctx_;
   const AccessPlan& plan_;
@@ -161,6 +201,22 @@ class TwoPhaseExchange {
   /// Negotiated window bytes per client domain (parallel to
   /// client_domains_).
   std::vector<std::uint64_t> client_window_;
+
+  // --- node-leader hierarchy (hints.cb_node_leaders) ---
+  bool hier_ = false;
+  int tag_hier_lists_ = 0;
+  int tag_hier_wsize_ = 0;
+  int tag_hier_data_base_ = 0;
+  /// All node groups, ascending by leader rank (identical on every rank).
+  std::vector<NodeGroup> groups_hier_;
+  /// My node's group (data ranks only; empty when I have no data).
+  std::vector<int> members_;
+  int my_leader_ = -1;
+  bool is_leader_ = false;
+  /// Leader only: domains any member of my node touches, ascending.
+  std::vector<NodeDomain> node_domains_;
+  /// Leader only, degraded: negotiated window per node domain.
+  std::vector<std::uint64_t> node_window_;
 };
 
 }  // namespace mcio::io

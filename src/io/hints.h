@@ -18,6 +18,12 @@ struct Hints {
   bool data_sieving_writes = true;
   /// Max gap (bytes) bridged by a data-sieving read in independent I/O.
   std::uint64_t ds_max_gap = 256ull << 10;
+  /// Node-leader hierarchy: co-located ranks combine offset lists and
+  /// payloads into their node's leader over the shm channel, and only
+  /// leaders speak on the interconnect (O(nodes) inter-node messages
+  /// instead of O(ranks)). Off by default — the flat path stays the
+  /// golden reference.
+  bool cb_node_leaders = false;
 
   // --- graceful degradation under memory faults (node::FaultPlan) ---
   /// Lease retries (exponential backoff in virtual time) before the

@@ -54,7 +54,11 @@ ExchangePlan TwoPhaseDriver::build_plan(CollContext& ctx,
   BoundsMsg mine{bounds.offset, bounds.len,
                  static_cast<std::uint8_t>(
                      plan.buffer.is_virtual() ? 1 : 0)};
-  const auto all = ctx.comm->allgather(mine);
+  // With node leaders on, the metadata allgather itself goes hierarchical:
+  // O(nodes) NIC messages instead of O(ranks).
+  const auto all = ctx.hints.cb_node_leaders
+                       ? ctx.comm->allgather_hier(mine)
+                       : ctx.comm->allgather(mine);
 
   ExchangePlan xplan;
   xplan.rank_bounds.reserve(all.size());

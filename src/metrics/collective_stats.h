@@ -50,6 +50,18 @@ class CollectiveStats {
  public:
   void record_aggregator(const AggregatorRecord& record);
   void record_shuffle(int src_node, int dst_node, std::uint64_t bytes);
+  /// One logical exchange-engine message (extent list, window-size
+  /// announcement, data blob, …), classified by whether it crossed the
+  /// interconnect. Counts messages the hierarchy is meant to eliminate;
+  /// pure accounting, never charges virtual time.
+  void record_msg(int src_node, int dst_node, std::uint64_t bytes) {
+    if (src_node == dst_node) {
+      ++msgs_intra_node_;
+    } else {
+      ++msgs_inter_node_;
+      bytes_inter_node_ += bytes;
+    }
+  }
   void record_rmw(std::uint64_t bytes) { rmw_bytes_ += bytes; }
   void record_io(std::uint64_t bytes) { io_bytes_ += bytes; }
   void set_groups(int n) { num_groups_ = n; }
@@ -101,6 +113,9 @@ class CollectiveStats {
   std::uint64_t shuffle_total() const {
     return intra_node_bytes_ + inter_node_bytes_;
   }
+  std::uint64_t msgs_intra_node() const { return msgs_intra_node_; }
+  std::uint64_t msgs_inter_node() const { return msgs_inter_node_; }
+  std::uint64_t bytes_inter_node() const { return bytes_inter_node_; }
   std::uint64_t rmw_bytes() const { return rmw_bytes_; }
   std::uint64_t io_bytes() const { return io_bytes_; }
   sim::SimTime elapsed() const { return elapsed_; }
@@ -115,6 +130,9 @@ class CollectiveStats {
   std::vector<AggregatorRecord> aggregators_;
   std::uint64_t intra_node_bytes_ = 0;
   std::uint64_t inter_node_bytes_ = 0;
+  std::uint64_t msgs_intra_node_ = 0;
+  std::uint64_t msgs_inter_node_ = 0;
+  std::uint64_t bytes_inter_node_ = 0;
   std::uint64_t rmw_bytes_ = 0;
   std::uint64_t io_bytes_ = 0;
   DegradationStats degradation_;

@@ -174,6 +174,55 @@ void Comm::send_blob(int dst, int tag, std::span<const std::byte> blob) {
   machine_->deliver(wdst, std::move(env));
 }
 
+void Comm::send_shm(int dst, int tag, util::ConstPayload data) {
+  sim::Actor& actor = owner_->actor();
+  actor.sync();
+  const int wdst = world_rank(dst);
+  const int node = node_of(rank());
+  MCIO_CHECK_EQ(node, node_of(dst));
+  const sim::SimTime arrival =
+      machine_->shm_transfer(node, data.size, actor.now());
+  actor.advance(machine_->config().shm_send_overhead);
+  Envelope env;
+  env.comm_id = comm_id_;
+  env.src = rank();
+  env.tag = tag;
+  env.body = util::OwnedPayload(data);
+  env.arrival = arrival;
+  machine_->deliver(wdst, std::move(env));
+}
+
+void Comm::send_blob_shm(int dst, int tag, std::span<const std::byte> blob) {
+  sim::Actor& actor = owner_->actor();
+  const int wdst = world_rank(dst);
+  const int node = node_of(rank());
+  MCIO_CHECK_EQ(node, node_of(dst));
+  const std::uint64_t size = blob.size();
+  // Same two-pass framing as send_blob (header then body) so a receiver
+  // cannot tell which channel a blob crossed — only the charged resource
+  // differs.
+  actor.sync();
+  const sim::SimTime header_arrival =
+      machine_->shm_transfer(node, sizeof(size), actor.now());
+  actor.advance(machine_->config().shm_send_overhead);
+  sim::SimTime arrival = header_arrival;
+  if (size > 0) {
+    actor.sync();
+    arrival = machine_->shm_transfer(node, size, actor.now());
+    actor.advance(machine_->config().shm_send_overhead);
+  }
+  Envelope env;
+  env.comm_id = comm_id_;
+  env.src = rank();
+  env.tag = tag;
+  env.body = util::OwnedPayload(
+      util::ConstPayload::real(size > 0 ? blob.data() : nullptr, size));
+  env.framed = true;
+  env.header_arrival = header_arrival;
+  env.arrival = arrival;
+  machine_->deliver(wdst, std::move(env));
+}
+
 FramedBlob Comm::recv_blob_deferred(int src, int tag) {
   sim::Actor& actor = owner_->actor();
   actor.sync();

@@ -83,6 +83,14 @@ class Comm {
   /// Replays the virtual-time cost of receiving `b` (header then body).
   void charge_blob(const FramedBlob& b, Status* status = nullptr);
 
+  /// Same-node variants of send/send_blob moving the payload over the
+  /// node's shared-memory channel instead of the membus/NIC transport —
+  /// the modeled single-copy path of the node-leader hierarchy. The
+  /// destination must live on the sender's node. Received with the normal
+  /// recv/recv_blob family.
+  void send_shm(int dst, int tag, util::ConstPayload data);
+  void send_blob_shm(int dst, int tag, std::span<const std::byte> blob);
+
   // --- collectives (must be called by every rank of the communicator in
   //     the same order) ---
   void barrier();
@@ -109,6 +117,25 @@ class Comm {
   double allreduce_sum(double v);
   std::int64_t allreduce_max(std::int64_t v);
   std::int64_t allreduce_sum(std::int64_t v);
+
+  /// All-to-all of variable blobs: out[src] is the blob `src` addressed to
+  /// me (to_each needs size() entries; empty entries arrive empty).
+  std::vector<std::vector<std::byte>> alltoallv_blobs(
+      std::span<const std::vector<std::byte>> to_each);
+
+  // --- hierarchical (node-leader) collectives ---
+  // Intra-node legs ride the shm channel into the node's lowest rank, only
+  // leaders take the inter-node binomial step, and results fan back out
+  // over shm. Results are identical to the flat variants; only the modeled
+  // traffic pattern differs. Same collective-call discipline applies.
+  std::vector<std::vector<std::byte>> allgather_blobs_hier(
+      std::span<const std::byte> mine);
+  template <typename T>
+  std::vector<T> allgather_hier(const T& v);
+  double allreduce_max_hier(double v);
+  std::int64_t allreduce_max_hier(std::int64_t v);
+  std::vector<std::vector<std::byte>> alltoallv_blobs_hier(
+      std::span<const std::vector<std::byte>> to_each);
 
   /// Reserves `n` consecutive tags from the collective tag space and
   /// returns the first. Collective in the weak sense: every rank must
@@ -150,6 +177,15 @@ class Comm {
   void gather_fixed(std::span<const std::byte> mine, int root,
                     std::byte* out);
 
+  // Hierarchical plumbing. node_groups() is data-independent: every rank
+  // computes the identical grouping (each node's ranks ascending, groups
+  // ordered by leader = lowest member).
+  std::vector<std::vector<int>> node_groups() const;
+  std::size_t my_group_index(
+      const std::vector<std::vector<int>>& groups) const;
+  std::vector<std::byte> allgather_wire_hier(std::span<const std::byte> mine);
+  void allgather_fixed_hier(std::span<const std::byte> mine, std::byte* out);
+
   Machine* machine_;
   Rank* owner_;
   std::shared_ptr<const std::vector<int>> members_;  // world ranks
@@ -167,6 +203,16 @@ std::vector<T> Comm::allgather(const T& v) {
   std::vector<T> out(static_cast<std::size_t>(size()));
   allgather_fixed(std::span<const std::byte>(p, sizeof(T)),
                   reinterpret_cast<std::byte*>(out.data()));
+  return out;
+}
+
+template <typename T>
+std::vector<T> Comm::allgather_hier(const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto* p = reinterpret_cast<const std::byte*>(&v);
+  std::vector<T> out(static_cast<std::size_t>(size()));
+  allgather_fixed_hier(std::span<const std::byte>(p, sizeof(T)),
+                       reinterpret_cast<std::byte*>(out.data()));
   return out;
 }
 

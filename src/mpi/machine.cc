@@ -70,6 +70,11 @@ sim::SimTime Machine::transfer(int src_node, int dst_node,
   return cluster_.nic_in(dst_node).serve(sent, fbytes);
 }
 
+sim::SimTime Machine::shm_transfer(int node, std::uint64_t bytes,
+                                   sim::SimTime start) {
+  return cluster_.shm(node).serve(start, static_cast<double>(bytes));
+}
+
 void Machine::deliver(int world_dst, Envelope env) {
   Endpoint& ep = endpoint(world_dst);
   const std::shared_ptr<RecvSlot> slot = ep.match_posted(env);

@@ -46,6 +46,12 @@ class Machine {
   sim::SimTime transfer(int src_node, int dst_node, std::uint64_t bytes,
                         sim::SimTime start);
 
+  /// Same-node single-copy transfer over the node's shared-memory channel
+  /// (the node-leader hierarchy's combine/scatter path). Charges only the
+  /// shm queue: the receiver maps the segment, no membus double-pass.
+  sim::SimTime shm_transfer(int node, std::uint64_t bytes,
+                            sim::SimTime start);
+
   /// Delivers an envelope to a world rank: matches a posted receive or
   /// queues as unexpected; wakes the destination if it is parked waiting.
   void deliver(int world_dst, Envelope env);

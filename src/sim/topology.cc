@@ -10,12 +10,15 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
   nic_out_.reserve(static_cast<std::size_t>(config_.num_nodes));
   nic_in_.reserve(static_cast<std::size_t>(config_.num_nodes));
   membus_.reserve(static_cast<std::size_t>(config_.num_nodes));
+  shm_.reserve(static_cast<std::size_t>(config_.num_nodes));
   for (int n = 0; n < config_.num_nodes; ++n) {
     const std::string suffix = std::to_string(n);
     nic_out_.emplace_back("nic_out/" + suffix, config_.nic_bandwidth,
                           config_.nic_latency);
     nic_in_.emplace_back("nic_in/" + suffix, config_.nic_bandwidth, 0.0);
     membus_.emplace_back("membus/" + suffix, config_.membus_bandwidth, 0.0);
+    shm_.emplace_back("shm/" + suffix, config_.shm_bandwidth,
+                      config_.shm_latency);
   }
 }
 
@@ -54,10 +57,15 @@ BandwidthQueue& Cluster::membus(int node) {
   return membus_.at(static_cast<std::size_t>(node));
 }
 
+BandwidthQueue& Cluster::shm(int node) {
+  return shm_.at(static_cast<std::size_t>(node));
+}
+
 void Cluster::reset_accounting() {
   for (auto& q : nic_out_) q.reset_accounting();
   for (auto& q : nic_in_) q.reset_accounting();
   for (auto& q : membus_) q.reset_accounting();
+  for (auto& q : shm_) q.reset_accounting();
 }
 
 }  // namespace mcio::sim

@@ -27,6 +27,17 @@ struct ClusterConfig {
   std::uint64_t node_memory = 24ull << 30;  ///< physical memory per node
   double swap_bandwidth = 50.0e6;    ///< paging device bandwidth
 
+  // Intra-node shared-memory channel: co-located ranks hand payloads to
+  // their node leader through a per-node staging queue so the combine is
+  // charged against a real resource — members pay one pass through the
+  // stage instead of getting it for free: page-remap transports clear the
+  // NIC but still cross the memory system once.
+  double shm_bandwidth = 20.0e9;   ///< bytes/s per node, all ranks shared
+  SimTime shm_latency = 0.3e-6;    ///< per-message kernel/queue overhead
+  /// CPU time to post a shm send: a ring-buffer enqueue, not a NIC
+  /// doorbell — an order of magnitude below send_overhead.
+  SimTime shm_send_overhead = 0.1e-6;
+
   int total_ranks() const { return num_nodes * ranks_per_node; }
 };
 
@@ -49,6 +60,8 @@ class Cluster {
   BandwidthQueue& nic_out(int node);
   BandwidthQueue& nic_in(int node);
   BandwidthQueue& membus(int node);
+  /// The node's shared-memory staging channel (node-leader combines).
+  BandwidthQueue& shm(int node);
 
   void reset_accounting();
 
@@ -57,6 +70,7 @@ class Cluster {
   std::vector<BandwidthQueue> nic_out_;
   std::vector<BandwidthQueue> nic_in_;
   std::vector<BandwidthQueue> membus_;
+  std::vector<BandwidthQueue> shm_;
 };
 
 }  // namespace mcio::sim

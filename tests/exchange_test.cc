@@ -6,6 +6,8 @@
 #include "mpi/machine.h"
 #include "node/memory.h"
 #include "pfs/pfs.h"
+#include "testing.h"
+#include "workloads/ior.h"
 #include "workloads/pattern.h"
 
 namespace mcio::io {
@@ -58,7 +60,7 @@ struct ExchangeHarness {
   }
 
   /// Two ranks write a strided pattern WITH HOLES into one domain.
-  void run_holey_write(bool sieving) {
+  void run_holey_write(bool sieving, bool hier = false) {
     machine.run(4, [&](mpi::Rank& rank) {
       CollContext ctx;
       ctx.rank = &rank;
@@ -70,6 +72,7 @@ struct ExchangeHarness {
       ctx.memory = &memory;
       ctx.stats = &stats;
       ctx.hints.data_sieving_writes = sieving;
+      ctx.hints.cb_node_leaders = hier;
 
       // Ranks 0 and 1 own alternating 100-byte blocks with 100-byte
       // holes between them (ranks 2,3 idle).
@@ -156,6 +159,132 @@ TEST(Exchange, ShuffleTrafficClassifiedByNode) {
   // (node 1): all shuffle bytes are inter-node.
   EXPECT_EQ(h.stats.shuffle_intra_node(), 0u);
   EXPECT_EQ(h.stats.shuffle_inter_node(), 800u);
+  // Flat message census: 2 extent lists + 2 data windows from each of the
+  // 2 sources, all crossing the interconnect.
+  EXPECT_EQ(h.stats.msgs_intra_node(), 0u);
+  EXPECT_EQ(h.stats.msgs_inter_node(), 6u);
+}
+
+TEST(Exchange, HierarchyCombinesOnNodeAndMatchesFlat) {
+  ExchangeHarness h;
+  h.run_holey_write(/*sieving=*/true, /*hier=*/true);
+  // Node 0's two data ranks elect rank 0 leader. Rank 1's extent list and
+  // its two window payloads travel over the node's shm channel; only the
+  // leader speaks to the aggregator — 1 merged list + 2 combined windows
+  // cross the interconnect (vs 6 messages on the flat path).
+  EXPECT_EQ(h.stats.msgs_intra_node(), 3u);
+  EXPECT_EQ(h.stats.msgs_inter_node(), 3u);
+  // The member→leader staging is intra-node shuffle; the combined
+  // leader→aggregator payload is the same 800 bytes the flat path moves.
+  EXPECT_EQ(h.stats.shuffle_intra_node(), 400u);
+  EXPECT_EQ(h.stats.shuffle_inter_node(), 800u);
+  // And the file is byte-identical to the flat result.
+  std::string err;
+  std::vector<Extent> all;
+  for (int r = 0; r < 2; ++r) {
+    for (int k = 0; k < 4; ++k) {
+      all.push_back(Extent{static_cast<std::uint64_t>(k) * 400 +
+                               static_cast<std::uint64_t>(r) * 200,
+                           100});
+    }
+  }
+  EXPECT_TRUE(workloads::verify_store(h.fs.store(h.fs.open("/x")), all, 3,
+                                      &err))
+      << err;
+}
+
+// --- hierarchical round trips through the full driver stack ---
+
+io::Hints hier_hints() {
+  io::Hints h;
+  h.cb_node_leaders = true;
+  return h;
+}
+
+io::AccessPlan hier_ior_factory(int rank, int nprocs,
+                                std::vector<std::byte>& storage) {
+  workloads::IorConfig cfg;
+  cfg.block_size = 64 << 10;
+  cfg.transfer_size = 8 << 10;
+  cfg.segments = 2;
+  cfg.interleaved = true;
+  storage.resize(workloads::ior_bytes_per_rank(cfg));
+  return workloads::ior_plan(rank, nprocs, cfg,
+                             util::Payload::of(storage));
+}
+
+/// Every third rank contributes nothing — zero-data ranks must drop out
+/// of the hierarchy without desynchronizing leader election.
+io::AccessPlan hier_sparse_factory(int rank, int nprocs,
+                                   std::vector<std::byte>& storage) {
+  if (rank % 3 == 0) {
+    storage.clear();
+    io::AccessPlan empty;
+    empty.buffer = Payload::of(storage);
+    return empty;
+  }
+  return hier_ior_factory(rank, nprocs, storage);
+}
+
+TEST(HierRoundTrip, BothDriversDefaultTopology) {
+  for (const bool mccio : {false, true}) {
+    mcio::testing::MiniCluster cluster;
+    io::TwoPhaseDriver two_phase;
+    core::MccioDriver mc;
+    io::CollectiveDriver& driver =
+        mccio ? static_cast<io::CollectiveDriver&>(mc) : two_phase;
+    ASSERT_NO_THROW(round_trip(cluster, driver, cluster.total_ranks(),
+                               hier_ior_factory, /*seed=*/42,
+                               hier_hints()));
+  }
+}
+
+TEST(HierRoundTrip, OneRankPerNodeDegeneratesToFlat) {
+  mcio::testing::MiniClusterOptions opt;
+  opt.num_nodes = 4;
+  opt.ranks_per_node = 1;
+  mcio::testing::MiniCluster cluster(opt);
+  core::MccioDriver driver;
+  ASSERT_NO_THROW(round_trip(cluster, driver, cluster.total_ranks(),
+                             hier_ior_factory, /*seed=*/42, hier_hints()));
+}
+
+TEST(HierRoundTrip, SingleNodeCommunicator) {
+  mcio::testing::MiniClusterOptions opt;
+  opt.num_nodes = 1;
+  opt.ranks_per_node = 4;
+  mcio::testing::MiniCluster cluster(opt);
+  for (const bool mccio : {false, true}) {
+    io::TwoPhaseDriver two_phase;
+    core::MccioDriver mc;
+    io::CollectiveDriver& driver =
+        mccio ? static_cast<io::CollectiveDriver&>(mc) : two_phase;
+    ASSERT_NO_THROW(round_trip(cluster, driver, cluster.total_ranks(),
+                               hier_ior_factory, /*seed=*/42,
+                               hier_hints()));
+  }
+}
+
+TEST(HierRoundTrip, HeterogeneousNodeOccupancy) {
+  // 3 nodes × 4 slots but only 9 ranks launched: nodes hold 4, 4 and 1
+  // ranks — the last node's "group" is a single self-led rank.
+  mcio::testing::MiniCluster cluster;
+  core::MccioDriver driver;
+  ASSERT_NO_THROW(round_trip(cluster, driver, /*nranks=*/9,
+                             hier_ior_factory, /*seed=*/42, hier_hints()));
+}
+
+TEST(HierRoundTrip, ZeroDataRanksExcludedFromHierarchy) {
+  mcio::testing::MiniCluster cluster;
+  for (const bool mccio : {false, true}) {
+    io::TwoPhaseDriver two_phase;
+    core::MccioDriver mc;
+    io::CollectiveDriver& driver =
+        mccio ? static_cast<io::CollectiveDriver&>(mc) : two_phase;
+    ASSERT_NO_THROW(round_trip(cluster, driver, cluster.total_ranks(),
+                               hier_sparse_factory, /*seed=*/42,
+                               hier_hints()));
+  }
 }
 
 }  // namespace

@@ -236,6 +236,61 @@ TEST(FaultedCollective, FullExhaustionFallsBackToIndependent) {
   EXPECT_GT(tp_stats.degradation().fallback_ranks, 0u);
 }
 
+io::Hints hier_hints(std::uint64_t shrink_floor = 0) {
+  io::Hints h;
+  h.cb_node_leaders = true;
+  if (shrink_floor != 0) h.fault_shrink_floor = shrink_floor;
+  return h;
+}
+
+TEST(FaultedCollective, HierTotalDenialShrinksThenSpillsAndStaysCorrect) {
+  // The node-leader hierarchy must compose with the degradation ladder:
+  // leaders relay the shrunken window schedule over shm and the combined
+  // payloads still land bit-correct.
+  node::FaultConfig cfg;
+  cfg.denial_rate = 1.0;
+  metrics::CollectiveStats stats;
+  core::MccioDriver driver;
+  ASSERT_NO_THROW(
+      faulted_round_trip(cfg, driver, hier_hints(8 << 10), &stats));
+  const metrics::DegradationStats& d = stats.degradation();
+  EXPECT_GT(d.buffer_shrinks, 0u);
+  EXPECT_GT(d.spills, 0u);
+}
+
+TEST(FaultedCollective, HierSurvivesMixedFaults) {
+  // Denials, grant delays and revocations hitting leaders mid-collective
+  // (including the node that elected them) must not wedge either driver.
+  node::FaultConfig cfg;
+  cfg.denial_rate = 0.3;
+  cfg.delay_rate = 0.3;
+  cfg.revoke_rate = 0.3;
+  for (const bool mccio : {false, true}) {
+    io::TwoPhaseDriver two_phase;
+    core::MccioDriver mc;
+    io::CollectiveDriver& driver =
+        mccio ? static_cast<io::CollectiveDriver&>(mc) : two_phase;
+    ASSERT_NO_THROW(
+        faulted_round_trip(cfg, driver, hier_hints(8 << 10), nullptr));
+  }
+}
+
+TEST(FaultedCollective, HierFullExhaustionFallsBackToIndependent) {
+  // Every node fault-exhausted: the leaders' nodes included. The ladder
+  // bottoms out in independent I/O exactly as on the flat path.
+  node::FaultConfig cfg;
+  cfg.exhaust_rate = 1.0;
+  for (const bool mccio : {false, true}) {
+    io::TwoPhaseDriver two_phase;
+    core::MccioDriver mc;
+    io::CollectiveDriver& driver =
+        mccio ? static_cast<io::CollectiveDriver&>(mc) : two_phase;
+    metrics::CollectiveStats stats;
+    ASSERT_NO_THROW(faulted_round_trip(cfg, driver, hier_hints(), &stats));
+    EXPECT_GT(stats.degradation().fallback_ranks, 0u);
+  }
+}
+
 /// One faulted collective write+read; returns per-rank finish times.
 std::vector<sim::SimTime> faulted_timed_run(bool mccio) {
   MiniClusterOptions opt;

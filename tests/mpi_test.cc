@@ -323,6 +323,44 @@ TEST(Comm, VirtualPayloadMessages) {
   });
 }
 
+TEST(Comm, HierCollectivesMatchFlat) {
+  // The node-leader variants must return bit-identical results to the
+  // flat collectives on awkward communicator sizes: single rank, one
+  // full node, a partially occupied last node, and the full machine.
+  for (const int n : {1, 4, 7, 12}) {
+    Machine machine(small_cluster());
+    machine.run(n, [n](Rank& rank) {
+      const int me = rank.rank();
+      Comm& c = rank.world();
+      EXPECT_EQ(c.allgather_hier(me * 3 + 1), c.allgather(me * 3 + 1));
+      EXPECT_EQ(c.allreduce_max_hier(static_cast<double>((me * 7) % 5)),
+                c.allreduce_max(static_cast<double>((me * 7) % 5)));
+      EXPECT_EQ(c.allreduce_max_hier(static_cast<std::int64_t>(me % 3)),
+                c.allreduce_max(static_cast<std::int64_t>(me % 3)));
+
+      // Variable-size blobs, some ranks contributing nothing.
+      std::vector<std::byte> mine(static_cast<std::size_t>((me * 5) % 7));
+      for (std::size_t i = 0; i < mine.size(); ++i) {
+        mine[i] = static_cast<std::byte>(me + static_cast<int>(i));
+      }
+      EXPECT_EQ(c.allgather_blobs_hier(mine), c.allgather_blobs(mine));
+
+      // All-to-all with a sparse, asymmetric matrix (empties elided on
+      // the hier relay must still deliver as empty).
+      std::vector<std::vector<std::byte>> to_each(
+          static_cast<std::size_t>(n));
+      for (int dst = 0; dst < n; ++dst) {
+        if ((me + dst) % 3 == 0) continue;
+        to_each[static_cast<std::size_t>(dst)].resize(
+            static_cast<std::size_t>((me + 2 * dst) % 5 + 1),
+            static_cast<std::byte>(me * 16 + dst));
+      }
+      EXPECT_EQ(c.alltoallv_blobs_hier(to_each),
+                c.alltoallv_blobs(to_each));
+    });
+  }
+}
+
 TEST(Machine, FinishTimesDeterministic) {
   const auto once = [] {
     Machine machine(small_cluster());
