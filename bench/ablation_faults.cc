@@ -8,7 +8,8 @@
 //
 // `--revoke`, `--delay` and `--exhaust` add the other fault classes at a
 // fixed rate across every point; `--serial` switches the IOR layout from
-// interleaved to segmented.
+// interleaved to segmented; `--borrow` arms the far-memory borrow rung
+// (hints.borrow_far_memory) on both drivers.
 #include "common.h"
 #include "util/cli.h"
 
@@ -26,6 +27,7 @@ int main(int argc, char** argv) {
   const double delay = cli.get_double("delay", 0.0);
   const double exhaust = cli.get_double("exhaust", 0.0);
   const bool serial = cli.has("serial");
+  const bool borrow = cli.has("borrow");
   const double single = cli.get_double("denial", -1.0);
   // First-rung retry backoff. The sweep's default is deliberately larger
   // than the library default: a denial must cost more than the ±1-2 %
@@ -66,6 +68,7 @@ int main(int argc, char** argv) {
     base.faults.exhaust_rate = exhaust;
     base.attach_fault_plan = true;  // zero-rate point: same protocol
     base.hints.fault_backoff_s = backoff;
+    base.hints.borrow_far_memory = borrow;
     const auto normal = bench::run_experiment(base, make_plan);
 
     bench::RunOptions mc = base;
@@ -80,6 +83,7 @@ int main(int argc, char** argv) {
                       .set("revoke_rate", revoke)
                       .set("delay_rate", delay)
                       .set("exhaust_rate", exhaust)
+                      .set("borrow", borrow ? 1 : 0)
                       .set("normal_write_mbs", normal.write_bw / 1e6)
                       .set("mccio_write_mbs", mccio.write_bw / 1e6)
                       .set("normal_read_mbs", normal.read_bw / 1e6)

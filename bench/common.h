@@ -242,7 +242,12 @@ inline void set_fault_counters(util::Json& point, const std::string& prefix,
       .set(prefix + "plan_remerges", d.plan_remerges)
       .set(prefix + "exhausted_nodes", d.exhausted_nodes)
       .set(prefix + "fallback_ranks", d.fallback_ranks)
-      .set(prefix + "fallback_bytes", d.fallback_bytes);
+      .set(prefix + "fallback_bytes", d.fallback_bytes)
+      .set(prefix + "lease_retry_giveups", d.lease_retry_giveups)
+      .set(prefix + "borrows", d.borrows)
+      .set(prefix + "borrowed_bytes", d.borrowed_bytes)
+      .set(prefix + "borrow_denials", d.borrow_denials)
+      .set(prefix + "donor_revocations", d.donor_revocations);
 }
 
 /// Attaches the exchange-engine message counters of one collective phase

@@ -194,12 +194,22 @@ io::ExchangePlan MccioDriver::build_plan(io::CollContext& ctx,
   const node::FaultPlan* faults = ctx.memory->fault_plan();
   std::uint64_t remerges = 0;
 
-  // Last rung of the degradation ladder, decided up front so no later
-  // placement can pick a doomed aggregator: a group whose hosts are all
-  // exhausted cannot back even a Msg_ind buffer anywhere. Its ranks drop
-  // out of the shuffle entirely (the driver performs their I/O
-  // independently) and their bounds are cleared *before* any group is
-  // placed, so leaf searches below never select them.
+  // Plan-time last resort of the degradation ladder, decided up front so
+  // no later placement can pick a doomed aggregator: a group whose hosts
+  // are all exhausted cannot back even a Msg_ind buffer anywhere. Its
+  // ranks drop out of the shuffle entirely (the driver performs their
+  // I/O independently) and their bounds are cleared *before* any group
+  // is placed, so leaf searches below never select them. With the
+  // borrow-far-memory rung enabled the group is *rescued* instead when
+  // any node in the cluster can donate at least a floor-sized window —
+  // the smallest ask the exchange-time borrow rung will make after the
+  // shrink ladder bottoms out (Msg_ind would be the wrong bar here: its
+  // saturation-sized default dwarfs scarce-memory testbeds and would
+  // veto every rescue). Placement then proceeds (the classic leaf search
+  // puts floor-sized domains on the exhausted hosts) and the
+  // aggregators' ladders bottom out into a borrow at exchange time.
+  // Full-cluster exhaustion leaves no donor, so the fallback below
+  // still fires.
   std::vector<bool> group_dead(groups.size(), false);
   if (faults != nullptr && config_.memory_aware) {
     for (std::size_t gi = 0; gi < groups.size(); ++gi) {
@@ -213,6 +223,15 @@ io::ExchangePlan MccioDriver::build_plan(io::CollContext& ctx,
         }
       }
       if (!all_exhausted) continue;
+      const std::uint64_t rescue_want = std::min<std::uint64_t>(
+          msg_ind, std::max<std::uint64_t>(
+                       stripe, ctx.hints.fault_shrink_floor));
+      if (ctx.hints.borrow_far_memory &&
+          ctx.memory->elect_donor(
+              rank_nodes[static_cast<std::size_t>(group.ranks.front())],
+              rescue_want, ctx.hints.borrow_donor_reserve) >= 0) {
+        continue;
+      }
       group_dead[gi] = true;
       for (const int r : group.ranks) {
         xplan.rank_bounds[static_cast<std::size_t>(r)] = Extent{};

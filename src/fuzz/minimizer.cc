@@ -180,6 +180,11 @@ std::vector<Transform> transforms() {
     s.node_leaders = false;
     return true;
   });
+  add("no-borrow", [](Scenario& s) {
+    if (!s.borrow) return false;
+    s.borrow = false;
+    return true;
+  });
   add("no-sieving", [](Scenario& s) {
     if (!s.data_sieving_writes && s.ds_max_gap == 0) return false;
     s.data_sieving_writes = false;

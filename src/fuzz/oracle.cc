@@ -72,6 +72,10 @@ io::Hints hints_for(const Scenario& s, DriverKind kind) {
   // Hierarchy goes on the MCCIO leg only: the flat two-phase run then
   // serves as the byte oracle for the node-leader combine/scatter path.
   h.cb_node_leaders = s.node_leaders && kind == DriverKind::kMccio;
+  // The borrow rung arms on both collective legs (it is part of their
+  // shared exchange ladder); the independent driver never aggregates, so
+  // it stays the un-borrowed byte oracle.
+  h.borrow_far_memory = s.borrow && kind != DriverKind::kIndependent;
   return h;
 }
 

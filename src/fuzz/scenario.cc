@@ -211,7 +211,8 @@ std::uint64_t Scenario::total_bytes() const {
   X(zero_rank_mask)                  \
   X(tail_bytes)                      \
   X(hole_every)                      \
-  X(node_leaders)
+  X(node_leaders)                    \
+  X(borrow)
 
 namespace {
 

@@ -93,6 +93,10 @@ struct Scenario {
   /// (hints.cb_node_leaders); the oracle then differences hierarchical
   /// aggregation against the flat two-phase and independent drivers.
   bool node_leaders = false;
+  /// Arm the borrow-far-memory rung (hints.borrow_far_memory) on both
+  /// collective drivers; the independent driver stays the un-borrowed
+  /// byte oracle. Crossed freely with the fault rates and node_leaders.
+  bool borrow = false;
 
   /// The file extents rank `rank` accesses — normalized (sorted, disjoint,
   /// merged), possibly empty. Pure function of (*this, rank).

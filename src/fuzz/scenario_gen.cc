@@ -144,6 +144,8 @@ Scenario ScenarioGen::generate(std::uint64_t case_index) const {
   // Drawn last so earlier draw sequences (and thus historical repro
   // cases) are unchanged by the knob's introduction.
   s.node_leaders = rng.uniform_double() < 0.5;
+  // Same rule: borrow is newer than node_leaders, so it draws after it.
+  s.borrow = rng.uniform_double() < 0.5;
 
   // Budget: shrink the pattern until the case fits the byte cap (keeps
   // soaks fast and bounds the per-case allocation).

@@ -220,6 +220,15 @@ void TwoPhaseExchange::charge_copy(int node, std::uint64_t bytes,
   actor().advance_to(done);
 }
 
+void TwoPhaseExchange::charge_fabric(int donor, std::uint64_t bytes,
+                                     double bw_scale) {
+  actor().sync();
+  const sim::SimTime done =
+      ctx_.rank->machine().cluster().fabric(donor).serve(
+          actor().now(), static_cast<double>(bytes), bw_scale);
+  actor().advance_to(done);
+}
+
 void TwoPhaseExchange::count_msg(int dst, std::uint64_t bytes) {
   if (ctx_.stats != nullptr) {
     ctx_.stats->record_msg(my_node(), ctx_.comm->node_of(dst), bytes);
@@ -379,7 +388,7 @@ void TwoPhaseExchange::recv_extent_lists() {
 }
 
 TwoPhaseExchange::BufferGrant TwoPhaseExchange::acquire_buffer(
-    std::uint64_t want, std::uint64_t site) {
+    std::uint64_t want, std::uint64_t site, std::uint64_t borrow_want) {
   const int node = my_node();
   std::uint64_t bytes = want;
   const std::uint64_t floor = std::min<std::uint64_t>(
@@ -387,7 +396,16 @@ TwoPhaseExchange::BufferGrant TwoPhaseExchange::acquire_buffer(
   double backoff = ctx_.hints.fault_backoff_s;
   int retries = 0;
   std::uint64_t attempt = 0;  // never reset: the plan's per-ladder index
+  const auto cap =
+      static_cast<std::uint64_t>(std::max(1, ctx_.hints.fault_attempt_cap));
   for (;;) {
+    if (attempt >= cap) {
+      // Rung 1 bound: the schedule has denied fault_attempt_cap attempts
+      // in this ladder run. Give up on local memory instead of retrying
+      // until the schedule relents, and drop to the terminal rungs.
+      if (ctx_.stats != nullptr) ctx_.stats->record_retry_giveup();
+      break;
+    }
     actor().sync();
     node::LeaseAttempt att = ctx_.memory->try_lease(node, bytes, site,
                                                     attempt++);
@@ -416,21 +434,144 @@ TwoPhaseExchange::BufferGrant TwoPhaseExchange::acquire_buffer(
       backoff *= 2.0;
       ++retries;
     } else if (bytes > floor) {
-      // Rung 3a: shrink the buffer and restart the retry budget.
+      // Rung 3: shrink the buffer and restart the retry budget.
       bytes = std::max(floor, bytes / 2);
       if (ctx_.stats != nullptr) ctx_.stats->record_shrink();
       retries = 0;
       backoff = ctx_.hints.fault_backoff_s;
     } else {
-      // Rung 3b: spill — swap always has room; the buffer is swap-backed
-      // and every byte through it pages.
-      BufferGrant g;
-      g.window_bytes = bytes;
-      g.spilled = true;
-      if (ctx_.stats != nullptr) ctx_.stats->record_spill();
-      return g;
+      break;  // local ladder bottomed out → terminal rungs
     }
   }
+  if (ctx_.hints.borrow_far_memory) {
+    // Rung 4: borrow far memory from an elected donor. The borrow first
+    // tries to restore the full planned window — the point of paying the
+    // fabric is full-size windows with no paging — and settles for the
+    // ladder's current (shrunk) size when no donor can back that. A
+    // fault-denied draw retries under the same exponential backoff as
+    // rung 1 (a remote denial is as transient as a local one), bounded
+    // by one fault_max_retries budget shared across both ask sizes so
+    // the rung stays O(retries) even when the schedule is hostile.
+    std::uint64_t borrow_attempt = 0;
+    int borrow_retries = 0;
+    double borrow_backoff = ctx_.hints.fault_backoff_s;
+    bool fault_denied = false;
+    std::uint64_t prev_ask = 0;
+    for (const std::uint64_t ask :
+         {std::max(borrow_want, bytes), bytes}) {
+      if (ask == prev_ask || fault_denied) break;
+      prev_ask = ask;
+      for (;;) {
+        actor().sync();
+        node::BorrowAttempt att = ctx_.memory->try_borrow(
+            node, ask, ctx_.hints.borrow_donor_reserve, site,
+            borrow_attempt);
+        if (att.donor < 0) break;  // no donor at this size: try smaller
+        ++borrow_attempt;
+        if (!att.granted) {
+          if (borrow_retries >= ctx_.hints.fault_max_retries) {
+            fault_denied = true;
+            break;
+          }
+          actor().advance(borrow_backoff);
+          borrow_backoff *= 2.0;
+          ++borrow_retries;
+          continue;
+        }
+        if (att.delay_s > 0.0) {
+          actor().advance(att.delay_s);
+          if (ctx_.stats != nullptr) {
+            ctx_.stats->record_grant_delay(att.delay_s);
+          }
+        }
+        BufferGrant g;
+        g.window_bytes = ask;
+        g.revoke_after = att.lease.revoke_after();
+        g.borrow_donor = att.donor;
+        if (ctx_.stats != nullptr) ctx_.stats->record_borrow();
+        // Probe only, as above: the data phases take the real donor
+        // lease.
+        att.lease.release();
+        return g;
+      }
+    }
+    if (ctx_.stats != nullptr) ctx_.stats->record_borrow_denial();
+  }
+  // Rung 5: spill — swap always has room; the buffer is swap-backed and
+  // every byte through it pages.
+  BufferGrant g;
+  g.window_bytes = bytes;
+  g.spilled = true;
+  if (ctx_.stats != nullptr) ctx_.stats->record_spill();
+  return g;
+}
+
+bool TwoPhaseExchange::try_reborrow(std::uint64_t site, BufferGrant* grant,
+                                    WindowBacking* b) {
+  // attempt 0 opens a fresh acquisition on the fault schedule — a
+  // negotiation-time borrow at this site was a separate one, and so is
+  // every migration/promotion probe.
+  actor().sync();
+  node::BorrowAttempt att = ctx_.memory->try_borrow(
+      my_node(), grant->window_bytes, ctx_.hints.borrow_donor_reserve,
+      site, 0);
+  if (!att.granted) {
+    // Only a fault-denied election counts as a denial; a probe that
+    // found no donor with headroom (the common case while every peer is
+    // mid-domain) is just the window watching the pool.
+    if (att.donor >= 0 && ctx_.stats != nullptr) {
+      ctx_.stats->record_borrow_denial();
+    }
+    return false;
+  }
+  if (att.delay_s > 0.0) {
+    actor().advance(att.delay_s);
+    if (ctx_.stats != nullptr) ctx_.stats->record_grant_delay(att.delay_s);
+  }
+  grant->borrow_donor = att.donor;
+  grant->revoked = false;
+  b->borrowed = true;
+  b->buf_node = att.donor;
+  b->lease.release();
+  b->lease = ctx_.memory->lease(att.donor, grant->window_bytes);
+  b->revoke_at = std::isfinite(att.lease.revoke_after())
+                     ? actor().now() + att.lease.revoke_after()
+                     : std::numeric_limits<double>::infinity();
+  att.lease.release();
+  b->copy_scale = b->lease.bw_scale();
+  b->io_scale = ctx_.memory->bw_scale_for(
+      b->lease.pressure(), ctx_.rank->machine().config().nic_bandwidth);
+  b->fabric_scale = ctx_.memory->bw_scale_for(
+      b->lease.pressure(),
+      ctx_.rank->machine().config().fabric_mem_bandwidth);
+  if (ctx_.stats != nullptr) ctx_.stats->record_borrow();
+  return true;
+}
+
+void TwoPhaseExchange::handle_revocation(std::uint64_t site,
+                                         BufferGrant* grant,
+                                         WindowBacking* b) {
+  if (ctx_.stats != nullptr) {
+    if (b->borrowed) {
+      ctx_.stats->record_donor_revocation();
+    } else {
+      ctx_.stats->record_revocation();
+    }
+  }
+  // Sideways demotion into rung 4: local windows and already-borrowed
+  // windows alike migrate their backing to the next elected donor, so
+  // far-memory churn costs a re-election per revocation instead of
+  // demoting the rest of the domain to swap.
+  if (ctx_.hints.borrow_far_memory && try_reborrow(site, grant, b)) {
+    return;
+  }
+  // Rung 5 semantics: the buffer is swap-backed, every byte through it
+  // pages. Data intact — and the data phases keep probing for a donor
+  // once per round, so this demotion is also not final.
+  grant->revoked = true;
+  b->copy_scale = ctx_.memory->pressure_bw_scale(1.0);
+  b->io_scale = ctx_.memory->bw_scale_for(
+      1.0, ctx_.rank->machine().config().nic_bandwidth);
 }
 
 void TwoPhaseExchange::negotiate_buffers() {
@@ -440,7 +581,14 @@ void TwoPhaseExchange::negotiate_buffers() {
   for (const DomainWork& work : owned_) {
     const FileDomain& d =
         xplan_.domains[static_cast<std::size_t>(work.index)];
-    BufferGrant g = acquire_buffer(d.buffer_bytes, d.extent.offset);
+    // The borrow rung restores the full planned buffer (a rescued group's
+    // domains may have been placed with floor-sized buffers), capped by
+    // the domain extent so the donor lease never outsizes the data.
+    const std::uint64_t borrow_want = std::min<std::uint64_t>(
+        d.extent.len,
+        std::max<std::uint64_t>(d.buffer_bytes, ctx_.hints.cb_buffer_size));
+    BufferGrant g =
+        acquire_buffer(d.buffer_bytes, d.extent.offset, borrow_want);
     // Announce the final window size to every direct source (the same set
     // that sent extent lists — all intersecting ranks on the flat path,
     // their leaders on the hierarchical one), so both sides window the
@@ -765,29 +913,44 @@ void TwoPhaseExchange::aggregator_write() {
     BufferGrant* grant = degraded_ ? &grants_[k] : nullptr;
     const std::uint64_t win_bytes =
         grant != nullptr ? grant->window_bytes : d.buffer_bytes;
+    WindowBacking b;
+    b.borrowed = grant != nullptr && grant->borrowed();
+    // Rung 4: a borrowed buffer lives on the donor node — the lease is
+    // taken there, so donor-side accounting (and the auditor's lease
+    // ledger) sees the remote grant exactly like a local one.
+    b.buf_node = b.borrowed ? grant->borrow_donor : my_node();
     actor().sync();
-    node::Lease lease = ctx_.memory->lease(my_node(), win_bytes);
-    double revoke_at = std::numeric_limits<double>::infinity();
+    b.lease = ctx_.memory->lease(b.buf_node, win_bytes);
+    b.revoke_at = std::numeric_limits<double>::infinity();
     if (grant != nullptr && std::isfinite(grant->revoke_after)) {
-      revoke_at = actor().now() + grant->revoke_after;
+      b.revoke_at = actor().now() + grant->revoke_after;
     }
     // Copies through an overcommitted buffer page against the memory bus;
-    // file-system transfers page against the NIC path.
-    double copy_scale = lease.bw_scale();
-    double io_scale = ctx_.memory->bw_scale_for(
-        lease.pressure(), ctx_.rank->machine().config().nic_bandwidth);
+    // file-system transfers page against the NIC path. A borrowed buffer
+    // instead moves every fill and drain through the donor's fabric port
+    // (charged per transfer below), blended the same way if the donor is
+    // overcommitted.
+    b.copy_scale = b.lease.bw_scale();
+    b.io_scale = ctx_.memory->bw_scale_for(
+        b.lease.pressure(), ctx_.rank->machine().config().nic_bandwidth);
+    b.fabric_scale =
+        b.borrowed
+            ? ctx_.memory->bw_scale_for(
+                  b.lease.pressure(),
+                  ctx_.rank->machine().config().fabric_mem_bandwidth)
+            : 1.0;
     if (grant != nullptr && grant->spilled) {
       // Ladder bottomed out at negotiation: the buffer is swap-backed,
       // every byte through it pages.
-      copy_scale = ctx_.memory->pressure_bw_scale(1.0);
-      io_scale = ctx_.memory->bw_scale_for(
+      b.copy_scale = ctx_.memory->pressure_bw_scale(1.0);
+      b.io_scale = ctx_.memory->bw_scale_for(
           1.0, ctx_.rank->machine().config().nic_bandwidth);
     }
     metrics::AggregatorRecord rec;
     rec.rank = my_rank();
     rec.node = my_node();
     rec.buffer_bytes = win_bytes;
-    rec.pressure = lease.pressure();
+    rec.pressure = b.lease.pressure();
     std::vector<std::byte> cb;
     if (xplan_.real_data) {
       cb.resize(std::min<std::uint64_t>(win_bytes, d.extent.len));
@@ -807,16 +970,18 @@ void TwoPhaseExchange::aggregator_write() {
       }
       if (cover.empty()) continue;
       ++rec.rounds;
-      if (grant != nullptr && !grant->revoked &&
-          actor().now() >= revoke_at) {
-        // Rung 2: the fault plan pulled the backing mid-collective; the
-        // rest of the exchange runs at swap speed through this buffer.
-        grant->revoked = true;
-        copy_scale = ctx_.memory->pressure_bw_scale(1.0);
-        io_scale = ctx_.memory->bw_scale_for(
-            1.0, ctx_.rank->machine().config().nic_bandwidth);
-        if (ctx_.stats != nullptr) ctx_.stats->record_revocation();
+      if (grant != nullptr) {
+        if (!grant->revoked && actor().now() >= b.revoke_at) {
+          // Rung 2: the fault plan pulled the backing mid-collective —
+          // demote down the ladder (sideways re-borrow, else spill).
+          handle_revocation(d.extent.offset, grant, &b);
+        } else if (grant->revoked && ctx_.hints.borrow_far_memory) {
+          // A window spilled by a failed re-borrow keeps watching:
+          // promote back onto the fabric as soon as a donor grants.
+          try_reborrow(d.extent.offset, grant, &b);
+        }
       }
+      const bool via_fabric = b.borrowed && !grant->revoked;
       const Extent span = cover.bounds();
       const bool holes = !cover.contiguous();
 
@@ -853,18 +1018,31 @@ void TwoPhaseExchange::aggregator_write() {
                 ? Payload::real(cb.data() + (span.offset - w.offset),
                                 span.len)
                 : Payload::virtual_bytes(span.len);
-        ctx_.fs->read(actor(), ctx_.file, span.offset, stage, io_scale);
+        ctx_.fs->read(actor(), ctx_.file, span.offset, stage, b.io_scale);
+        // The sieved span fills the borrowed window across the fabric.
+        if (via_fabric) {
+          charge_fabric(grant->borrow_donor, span.len, b.fabric_scale);
+        }
         if (ctx_.stats != nullptr) ctx_.stats->record_rmw(span.len);
       }
       ctx_.comm->waitall(reqs);
 
-      // Overlay received pieces into the collective buffer.
+      // Overlay received pieces into the collective buffer. Borrowed
+      // windows fill over the donor's fabric port instead of the local
+      // memory bus.
       for (std::size_t i = 0; i < active.size(); ++i) {
         const SourceSweep& sw = sweeps[active[i]];
-        charge_copy(my_node(), sizes[i], copy_scale);
-        if (grant != nullptr && (grant->spilled || grant->revoked) &&
-            ctx_.stats != nullptr) {
-          ctx_.stats->record_spilled_bytes(sizes[i]);
+        if (via_fabric) {
+          charge_fabric(grant->borrow_donor, sizes[i], b.fabric_scale);
+        } else {
+          charge_copy(my_node(), sizes[i], b.copy_scale);
+        }
+        if (grant != nullptr && ctx_.stats != nullptr) {
+          if (via_fabric) {
+            ctx_.stats->record_borrowed_bytes(sizes[i]);
+          } else if (grant->spilled || grant->revoked) {
+            ctx_.stats->record_spilled_bytes(sizes[i]);
+          }
         }
         if (xplan_.real_data) {
           std::uint64_t off = 0;
@@ -890,20 +1068,27 @@ void TwoPhaseExchange::aggregator_write() {
       };
       if (rmw || !holes) {
         const Extent out = rmw ? span : cover.runs().front();
+        // A borrowed window drains across the fabric before the PFS op.
+        if (via_fabric) {
+          charge_fabric(grant->borrow_donor, out.len, b.fabric_scale);
+        }
         ctx_.fs->write(actor(), ctx_.file, out.offset, slice_of(out),
-                       io_scale);
+                       b.io_scale);
         rec.io_bytes += out.len;
         if (ctx_.stats != nullptr) ctx_.stats->record_io(out.len);
       } else {
         for (const Extent& run : cover.runs()) {
+          if (via_fabric) {
+            charge_fabric(grant->borrow_donor, run.len, b.fabric_scale);
+          }
           ctx_.fs->write(actor(), ctx_.file, run.offset, slice_of(run),
-                         io_scale);
+                         b.io_scale);
           rec.io_bytes += run.len;
           if (ctx_.stats != nullptr) ctx_.stats->record_io(run.len);
         }
       }
     }
-    lease.release();
+    b.lease.release();
     if (ctx_.stats != nullptr) ctx_.stats->record_aggregator(rec);
   }
 }
@@ -919,29 +1104,41 @@ void TwoPhaseExchange::aggregator_read() {
     BufferGrant* grant = degraded_ ? &grants_[k] : nullptr;
     const std::uint64_t win_bytes =
         grant != nullptr ? grant->window_bytes : d.buffer_bytes;
+    WindowBacking b;
+    b.borrowed = grant != nullptr && grant->borrowed();
+    // Rung 4: the lease for a borrowed buffer is taken on the donor node
+    // (see aggregator_write).
+    b.buf_node = b.borrowed ? grant->borrow_donor : my_node();
     actor().sync();
-    node::Lease lease = ctx_.memory->lease(my_node(), win_bytes);
-    double revoke_at = std::numeric_limits<double>::infinity();
+    b.lease = ctx_.memory->lease(b.buf_node, win_bytes);
+    b.revoke_at = std::numeric_limits<double>::infinity();
     if (grant != nullptr && std::isfinite(grant->revoke_after)) {
-      revoke_at = actor().now() + grant->revoke_after;
+      b.revoke_at = actor().now() + grant->revoke_after;
     }
     // Copies through an overcommitted buffer page against the memory bus;
-    // file-system transfers page against the NIC path.
-    double copy_scale = lease.bw_scale();
-    double io_scale = ctx_.memory->bw_scale_for(
-        lease.pressure(), ctx_.rank->machine().config().nic_bandwidth);
+    // file-system transfers page against the NIC path. Borrowed buffers
+    // fill and drain through the donor's fabric port instead.
+    b.copy_scale = b.lease.bw_scale();
+    b.io_scale = ctx_.memory->bw_scale_for(
+        b.lease.pressure(), ctx_.rank->machine().config().nic_bandwidth);
+    b.fabric_scale =
+        b.borrowed
+            ? ctx_.memory->bw_scale_for(
+                  b.lease.pressure(),
+                  ctx_.rank->machine().config().fabric_mem_bandwidth)
+            : 1.0;
     if (grant != nullptr && grant->spilled) {
       // Ladder bottomed out at negotiation: the buffer is swap-backed,
       // every byte through it pages.
-      copy_scale = ctx_.memory->pressure_bw_scale(1.0);
-      io_scale = ctx_.memory->bw_scale_for(
+      b.copy_scale = ctx_.memory->pressure_bw_scale(1.0);
+      b.io_scale = ctx_.memory->bw_scale_for(
           1.0, ctx_.rank->machine().config().nic_bandwidth);
     }
     metrics::AggregatorRecord rec;
     rec.rank = my_rank();
     rec.node = my_node();
     rec.buffer_bytes = win_bytes;
-    rec.pressure = lease.pressure();
+    rec.pressure = b.lease.pressure();
     std::vector<std::byte> cb;
     if (xplan_.real_data) {
       cb.resize(std::min<std::uint64_t>(win_bytes, d.extent.len));
@@ -961,15 +1158,18 @@ void TwoPhaseExchange::aggregator_read() {
       }
       if (!any) continue;
       ++rec.rounds;
-      if (grant != nullptr && !grant->revoked &&
-          actor().now() >= revoke_at) {
-        // Rung 2: backing revoked mid-collective — swap speed from here.
-        grant->revoked = true;
-        copy_scale = ctx_.memory->pressure_bw_scale(1.0);
-        io_scale = ctx_.memory->bw_scale_for(
-            1.0, ctx_.rank->machine().config().nic_bandwidth);
-        if (ctx_.stats != nullptr) ctx_.stats->record_revocation();
+      if (grant != nullptr) {
+        if (!grant->revoked && actor().now() >= b.revoke_at) {
+          // Rung 2: backing revoked mid-collective — demote down the
+          // ladder (sideways re-borrow, else spill).
+          handle_revocation(d.extent.offset, grant, &b);
+        } else if (grant->revoked && ctx_.hints.borrow_far_memory) {
+          // Promote a spilled window back onto the fabric as soon as a
+          // donor grants.
+          try_reborrow(d.extent.offset, grant, &b);
+        }
       }
+      const bool via_fabric = b.borrowed && !grant->revoked;
       // Data-sieving read: one contiguous read covering the span.
       const Extent span = cover.bounds();
       Payload stage =
@@ -977,17 +1177,28 @@ void TwoPhaseExchange::aggregator_read() {
               ? Payload::real(cb.data() + (span.offset - w.offset),
                               span.len)
               : Payload::virtual_bytes(span.len);
-      ctx_.fs->read(actor(), ctx_.file, span.offset, stage, io_scale);
+      ctx_.fs->read(actor(), ctx_.file, span.offset, stage, b.io_scale);
+      // The read span fills the borrowed window across the fabric.
+      if (via_fabric) {
+        charge_fabric(grant->borrow_donor, span.len, b.fabric_scale);
+      }
       rec.io_bytes += span.len;
       if (ctx_.stats != nullptr) ctx_.stats->record_io(span.len);
 
       for (const SourceSweep& sw : sweeps) {
         if (sw.clip.empty()) continue;
         const std::uint64_t n = sw.clip.total_bytes();
-        charge_copy(my_node(), n, copy_scale);  // pack
-        if (grant != nullptr && (grant->spilled || grant->revoked) &&
-            ctx_.stats != nullptr) {
-          ctx_.stats->record_spilled_bytes(n);
+        if (via_fabric) {
+          charge_fabric(grant->borrow_donor, n, b.fabric_scale);  // drain
+        } else {
+          charge_copy(my_node(), n, b.copy_scale);  // pack
+        }
+        if (grant != nullptr && ctx_.stats != nullptr) {
+          if (via_fabric) {
+            ctx_.stats->record_borrowed_bytes(n);
+          } else if (grant->spilled || grant->revoked) {
+            ctx_.stats->record_spilled_bytes(n);
+          }
         }
         if (xplan_.real_data) {
           tmp.resize(n);
@@ -1011,7 +1222,7 @@ void TwoPhaseExchange::aggregator_read() {
         }
       }
     }
-    lease.release();
+    b.lease.release();
     if (ctx_.stats != nullptr) ctx_.stats->record_aggregator(rec);
   }
 }

@@ -45,14 +45,40 @@ struct ExchangePlan {
   bool real_data = true;
   /// Number of aggregation groups (metrics only; 1 for the baseline).
   int num_groups = 1;
-  /// Ranks degraded to independent I/O (ascending): the last rung of the
-  /// fault-degradation ladder. Their rank_bounds entries are empty — they
-  /// take no part in the shuffle — and the owning driver performs their
-  /// I/O outside the exchange.
+  /// Ranks degraded to independent I/O (ascending): the degradation
+  /// ladder's plan-time last resort (see the rung table below). Their
+  /// rank_bounds entries are empty — they take no part in the shuffle —
+  /// and the owning driver performs their I/O outside the exchange.
   std::vector<int> independent_ranks;
 
   void validate(int comm_size) const;
 };
+
+// The graceful-degradation ladder — authoritative rung table. Every
+// other description (collective_stats.h, DESIGN.md §11, bench/README
+// docs) refers here. Plan-time steps run in the drivers; rungs 1–5 run
+// in TwoPhaseExchange::acquire_buffer and the aggregator data phases.
+//
+//   plan    remerge        domains merged away from memory-poor hosts
+//                          (MCCIO placement, §3.3; plan_remerges)
+//   rung 1  retry          exponential backoff, fault_max_retries per
+//                          level, capped at fault_attempt_cap total
+//                          attempts (lease_retries, lease_retry_giveups)
+//   rung 2  revocation     granted backing pulled mid-collective: finish
+//           tolerance      at swap speed, data intact (revocations /
+//                          donor_revocations for borrowed buffers)
+//   rung 3  shrink         halve the buffer down to fault_shrink_floor,
+//                          retry budget restarts per level (buffer_shrinks)
+//   rung 4  borrow far     lease a full-size window on an elected donor
+//           memory         node, reached over the fabric channel; only
+//                          with hints.borrow_far_memory (borrows,
+//                          borrowed_bytes, borrow_denials)
+//   rung 5  spill          forced overcommitted lease: swap-backed
+//                          buffer, every byte pages (spills,
+//                          spilled_bytes)
+//   plan    independent    fully exhausted donor-less groups leave the
+//           fallback       exchange and write/read independently
+//                          (fallback_ranks, fallback_bytes)
 
 /// Runs one collective write or read. Construct per operation.
 class TwoPhaseExchange {
@@ -107,13 +133,18 @@ class TwoPhaseExchange {
   /// protocol (one domain's buffer held at a time, not all at once).
   struct BufferGrant {
     /// Actual per-window buffer bytes (≤ the planned buffer after
-    /// shrinking).
+    /// shrinking; may *exceed* it for a borrowed window, which restores
+    /// the full planned size).
     std::uint64_t window_bytes = 0;
     /// Virtual seconds after processing starts at which the backing
     /// disappears; infinity = never.
     double revoke_after = std::numeric_limits<double>::infinity();
     bool spilled = false;  ///< ladder bottomed out: swap-backed buffer
     bool revoked = false;  ///< revocation already observed
+    /// Rung 4: donor node backing this buffer over the fabric; -1 = the
+    /// buffer is local.
+    int borrow_donor = -1;
+    bool borrowed() const { return borrow_donor >= 0; }
   };
 
   /// One physical node's data ranks (hierarchical mode): the lowest rank
@@ -164,11 +195,54 @@ class TwoPhaseExchange {
   /// the aggregator and scatter member slices over shm.
   void leader_scatter_read();
 
-  /// Runs the degradation ladder for one aggregation buffer: fault-aware
-  /// lease attempts with exponential backoff in virtual time, then
-  /// shrink-and-retry, then a forced swap-backed spill lease. `site`
-  /// keys the fault schedule (the domain's file offset).
-  BufferGrant acquire_buffer(std::uint64_t want, std::uint64_t site);
+  /// Runs the degradation ladder (rung table above) for one aggregation
+  /// buffer: fault-aware lease attempts with exponential backoff in
+  /// virtual time, then shrink-and-retry, then — once local memory is
+  /// out — a far-memory borrow when enabled, and finally a forced
+  /// swap-backed spill lease. `site` keys the fault schedule (the
+  /// domain's file offset); `borrow_want` is the window the borrow rung
+  /// tries to restore (the full planned buffer, capped by the domain
+  /// extent) before settling for the ladder's current size.
+  BufferGrant acquire_buffer(std::uint64_t want, std::uint64_t site,
+                             std::uint64_t borrow_want);
+
+  /// Mutable per-domain buffer state shared between the data phases and
+  /// handle_revocation: which node backs the window, the lease held on
+  /// it, when the fault plan pulls it, and the bandwidth scales derived
+  /// from its pressure.
+  struct WindowBacking {
+    bool borrowed = false;
+    int buf_node = -1;
+    node::Lease lease;
+    double revoke_at = 0.0;
+    double copy_scale = 1.0;
+    double io_scale = 1.0;
+    double fabric_scale = 1.0;
+  };
+
+  /// One rung-4 attempt to move `grant`'s backing onto an elected donor
+  /// while keeping the negotiated window geometry (sources stream
+  /// against the announced window size, so only the backing may move —
+  /// always at a window boundary, where the buffer holds no live data).
+  /// On grant: swaps the lease to the donor, clears the revoked flag and
+  /// refreshes every scale in `b`. Returns false (and counts a
+  /// borrow_denial) when no donor grants.
+  bool try_reborrow(std::uint64_t site, BufferGrant* grant,
+                    WindowBacking* b);
+
+  /// Responds to a mid-collective revocation of `grant`'s backing at a
+  /// window boundary (rung 2). With the borrow rung enabled the window
+  /// demotes sideways instead of down: the backing migrates to the next
+  /// elected donor — local windows and already-borrowed windows alike,
+  /// so far-memory churn costs a re-election per revocation. Only when
+  /// no donor grants does the window fall to spill semantics, and even
+  /// then the data phases keep probing once per round and promote the
+  /// window back onto the fabric when a donor reappears. Bounded: at
+  /// most one borrow attempt per window round. Updates `b` in place;
+  /// data is never at risk because windows are filled and drained whole
+  /// from live sources and the file.
+  void handle_revocation(std::uint64_t site, BufferGrant* grant,
+                         WindowBacking* b);
 
   int my_rank() const;
   int my_node() const;
@@ -176,6 +250,10 @@ class TwoPhaseExchange {
 
   /// Charges a packing/scatter memcpy on `node` and advances the actor.
   void charge_copy(int node, std::uint64_t bytes, double bw_scale);
+
+  /// Charges `bytes` through the donor's far-memory port (borrowed
+  /// aggregation buffers: every fill and drain crosses the fabric).
+  void charge_fabric(int donor, std::uint64_t bytes, double bw_scale);
 
   /// Counts one logical message to `dst` (metrics only, no virtual time).
   void count_msg(int dst, std::uint64_t bytes);

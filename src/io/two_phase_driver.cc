@@ -22,11 +22,13 @@ std::uint64_t round_up(std::uint64_t v, std::uint64_t unit) {
   return unit == 0 ? v : (v + unit - 1) / unit * unit;
 }
 
-/// Last rung of the degradation ladder for the non-memory-aware baseline:
-/// with every node exhausted there is nowhere to aggregate, so the whole
+/// Plan-time independent fallback (see the rung table in io/exchange.h)
+/// for the non-memory-aware baseline: with every node exhausted there is
+/// nowhere to aggregate — and no far-memory donor either — so the whole
 /// collective degrades to independent I/O (every rank agrees — the fault
 /// plan is shared). Partial exhaustion keeps the fixed aggregator map and
-/// lets the exchange's lease ladder absorb the faults.
+/// lets the exchange's lease ladder (including the borrow rung, when
+/// hinted) absorb the faults.
 bool all_nodes_exhausted(const CollContext& ctx) {
   const node::FaultPlan* fp = ctx.memory->fault_plan();
   return fp != nullptr && fp->num_exhausted() == fp->num_nodes();

@@ -15,8 +15,10 @@
 
 namespace mcio::metrics {
 
-/// Counters for the graceful-degradation ladder (retry → remerge →
-/// shrink/spill → independent fallback) driven by node::FaultPlan. All
+/// Counters for the graceful-degradation ladder driven by node::FaultPlan
+/// (authoritative rung table in src/io/exchange.h: plan-time remerge,
+/// then retry → revocation tolerance → shrink → borrow far memory →
+/// spill, with independent fallback as the plan-time last resort). All
 /// zero when no fault plan is attached.
 struct DegradationStats {
   std::uint64_t lease_denials = 0;   ///< fault-plan denied lease attempts
@@ -32,6 +34,13 @@ struct DegradationStats {
   std::uint64_t exhausted_nodes = 0; ///< data-bearing nodes exhausted
   std::uint64_t fallback_ranks = 0;  ///< ranks degraded to independent I/O
   std::uint64_t fallback_bytes = 0;  ///< bytes moved by those ranks
+  /// Ladder runs that hit hints.fault_attempt_cap and gave up on local
+  /// memory (jumping to the terminal borrow/spill rungs).
+  std::uint64_t lease_retry_giveups = 0;
+  std::uint64_t borrows = 0;          ///< far-memory borrowed buffers
+  std::uint64_t borrowed_bytes = 0;   ///< bytes through borrowed windows
+  std::uint64_t borrow_denials = 0;   ///< donor-less or fault-denied borrows
+  std::uint64_t donor_revocations = 0;///< borrowed backing pulled mid-op
 };
 
 /// Per-aggregator record.
@@ -92,6 +101,13 @@ class CollectiveStats {
     ++degradation_.fallback_ranks;
     degradation_.fallback_bytes += bytes;
   }
+  void record_retry_giveup() { ++degradation_.lease_retry_giveups; }
+  void record_borrow() { ++degradation_.borrows; }
+  void record_borrowed_bytes(std::uint64_t bytes) {
+    degradation_.borrowed_bytes += bytes;
+  }
+  void record_borrow_denial() { ++degradation_.borrow_denials; }
+  void record_donor_revocation() { ++degradation_.donor_revocations; }
   const DegradationStats& degradation() const { return degradation_; }
 
   const std::vector<AggregatorRecord>& aggregators() const {

@@ -83,7 +83,10 @@ class FaultPlan {
   /// single-site callers) and `attempt` the retry index within the
   /// current ladder run. attempt == 0 opens a new acquisition at the
   /// site (advancing its sequence number); attempt > 0 re-draws within
-  /// the open one. Exhausted nodes always deny.
+  /// the open one. Exhausted nodes always deny. Far-memory borrow
+  /// attempts arrive with a borrow-salted `site` (see
+  /// MemoryManager::try_borrow), so a donor's borrow stream never shares
+  /// a sequence with its own local acquisitions.
   LeaseFault lease_fault(int node, std::uint64_t site,
                          std::uint64_t attempt);
 

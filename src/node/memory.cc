@@ -7,6 +7,16 @@
 
 namespace mcio::node {
 
+namespace {
+
+// Far-memory borrow attempts draw from the donor's fault schedule at a
+// salted site, so a borrow aimed at file offset X never shares (or
+// shifts) the donor's own acquisition stream at site X. High bits only:
+// real sites are file offsets and keep their low bits distinguishable.
+constexpr std::uint64_t kBorrowSiteSalt = 0x626f7272ULL << 32;  // "borr"
+
+}  // namespace
+
 Lease::Lease(MemoryManager* mgr, std::weak_ptr<const bool> alive, int node,
              std::uint64_t bytes, double pressure, double bw_scale)
     : mgr_(mgr),
@@ -128,6 +138,44 @@ LeaseAttempt MemoryManager::try_lease(int node, std::uint64_t bytes,
   att.granted = true;
   att.delay_s = f.delay_s;
   att.lease = grant(node, bytes);
+  att.lease.revoke_after_ = f.revoke_after_s;
+  return att;
+}
+
+int MemoryManager::elect_donor(int borrower, std::uint64_t bytes,
+                               std::uint64_t reserve) const {
+  int best = -1;
+  std::uint64_t best_avail = 0;
+  for (int n = 0; n < num_nodes(); ++n) {
+    if (n == borrower) continue;
+    const std::uint64_t avail = available(n);  // exhausted nodes report 0
+    if (avail < bytes || avail - bytes < reserve) continue;
+    if (best < 0 || avail > best_avail) {
+      best = n;
+      best_avail = avail;
+    }
+  }
+  return best;
+}
+
+BorrowAttempt MemoryManager::try_borrow(int borrower, std::uint64_t bytes,
+                                        std::uint64_t reserve,
+                                        std::uint64_t site,
+                                        std::uint64_t attempt) {
+  BorrowAttempt att;
+  att.donor = elect_donor(borrower, bytes, reserve);
+  if (att.donor < 0) return att;
+  if (faults_ == nullptr) {
+    att.granted = true;
+    att.lease = grant(att.donor, bytes);
+    return att;
+  }
+  const LeaseFault f =
+      faults_->lease_fault(att.donor, site ^ kBorrowSiteSalt, attempt);
+  if (f.deny) return att;
+  att.granted = true;
+  att.delay_s = f.delay_s;
+  att.lease = grant(att.donor, bytes);
   att.lease.revoke_after_ = f.revoke_after_s;
   return att;
 }

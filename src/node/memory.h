@@ -90,6 +90,17 @@ struct LeaseAttempt {
   Lease lease;  ///< valid only when granted
 };
 
+/// Outcome of a fault-aware far-memory borrow attempt (see try_borrow).
+struct BorrowAttempt {
+  bool granted = false;
+  /// Elected donor node; -1 when no node in the cluster could back the
+  /// request (in which case no fault draw was consumed).
+  int donor = -1;
+  /// Transient grant delay in virtual seconds (0 without a fault plan).
+  double delay_s = 0.0;
+  Lease lease;  ///< held on the donor node; valid only when granted
+};
+
 class MemoryManager {
  public:
   /// `mean_available` is the nominal aggregation memory per node (the
@@ -138,6 +149,29 @@ class MemoryManager {
   /// lease(), always granted immediately.
   LeaseAttempt try_lease(int node, std::uint64_t bytes,
                          std::uint64_t site = 0, std::uint64_t attempt = 0);
+
+  /// Deterministic donor election for a far-memory borrow: the node ≠
+  /// `borrower` with the most available memory that can back `bytes`
+  /// while keeping `reserve` bytes of headroom for its own aggregation;
+  /// ties break to the lowest node id. A pure function of shared manager
+  /// state (exhausted nodes report 0 available), so every rank elects
+  /// the same donor — the same construction as node-leader election in
+  /// the hierarchy. Returns -1 when no node qualifies.
+  int elect_donor(int borrower, std::uint64_t bytes,
+                  std::uint64_t reserve) const;
+
+  /// Fault-aware far-memory borrow (degradation-ladder rung 4): elects a
+  /// donor and attempts the lease *on the donor node*, so donor-side
+  /// accounting (capacity, pressure, observer grant/release events) is
+  /// exactly that of a local lease and the verify-layer lease-balance
+  /// auditor covers remote leases for free. The fault draw runs on the
+  /// donor's schedule at a borrow-salted site — borrow streams never
+  /// perturb local acquisition schedules at the same file offset, and
+  /// the nested-across-rates property carries over. Without a plan the
+  /// borrow is granted whenever a donor exists.
+  BorrowAttempt try_borrow(int borrower, std::uint64_t bytes,
+                           std::uint64_t reserve, std::uint64_t site = 0,
+                           std::uint64_t attempt = 0);
 
   /// High-water mark of leased bytes per node (for reports).
   std::uint64_t high_water(int node) const;

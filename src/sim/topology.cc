@@ -11,6 +11,7 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
   nic_in_.reserve(static_cast<std::size_t>(config_.num_nodes));
   membus_.reserve(static_cast<std::size_t>(config_.num_nodes));
   shm_.reserve(static_cast<std::size_t>(config_.num_nodes));
+  fabric_.reserve(static_cast<std::size_t>(config_.num_nodes));
   for (int n = 0; n < config_.num_nodes; ++n) {
     const std::string suffix = std::to_string(n);
     nic_out_.emplace_back("nic_out/" + suffix, config_.nic_bandwidth,
@@ -19,6 +20,8 @@ Cluster::Cluster(const ClusterConfig& config) : config_(config) {
     membus_.emplace_back("membus/" + suffix, config_.membus_bandwidth, 0.0);
     shm_.emplace_back("shm/" + suffix, config_.shm_bandwidth,
                       config_.shm_latency);
+    fabric_.emplace_back("fabric/" + suffix, config_.fabric_mem_bandwidth,
+                         config_.fabric_mem_latency);
   }
 }
 
@@ -61,11 +64,16 @@ BandwidthQueue& Cluster::shm(int node) {
   return shm_.at(static_cast<std::size_t>(node));
 }
 
+BandwidthQueue& Cluster::fabric(int node) {
+  return fabric_.at(static_cast<std::size_t>(node));
+}
+
 void Cluster::reset_accounting() {
   for (auto& q : nic_out_) q.reset_accounting();
   for (auto& q : nic_in_) q.reset_accounting();
   for (auto& q : membus_) q.reset_accounting();
   for (auto& q : shm_) q.reset_accounting();
+  for (auto& q : fabric_) q.reset_accounting();
 }
 
 }  // namespace mcio::sim

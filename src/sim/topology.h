@@ -38,6 +38,14 @@ struct ClusterConfig {
   /// doorbell — an order of magnitude below send_overhead.
   SimTime shm_send_overhead = 0.1e-6;
 
+  // Far-memory (disaggregated) channel: an aggregation buffer borrowed
+  // from a donor node is reached over the fabric at RDMA-class speed —
+  // well below the local memory bus, far above the paging device. The
+  // queue sits donor-side (one per node), so concurrent borrowers of the
+  // same donor contend for its fabric port like NIC traffic does.
+  double fabric_mem_bandwidth = 6.0e9;  ///< bytes/s per donor node
+  SimTime fabric_mem_latency = 1.5e-6;  ///< per-access one-way latency
+
   int total_ranks() const { return num_nodes * ranks_per_node; }
 };
 
@@ -62,6 +70,8 @@ class Cluster {
   BandwidthQueue& membus(int node);
   /// The node's shared-memory staging channel (node-leader combines).
   BandwidthQueue& shm(int node);
+  /// The node's donor-side far-memory port (borrowed-buffer fills/drains).
+  BandwidthQueue& fabric(int node);
 
   void reset_accounting();
 
@@ -71,6 +81,7 @@ class Cluster {
   std::vector<BandwidthQueue> nic_in_;
   std::vector<BandwidthQueue> membus_;
   std::vector<BandwidthQueue> shm_;
+  std::vector<BandwidthQueue> fabric_;
 };
 
 }  // namespace mcio::sim

@@ -11,6 +11,7 @@
 #include "node/fault.h"
 #include "node/memory.h"
 #include "testing.h"
+#include "verify/auditor.h"
 #include "workloads/ior.h"
 
 namespace mcio {
@@ -289,6 +290,138 @@ TEST(FaultedCollective, HierFullExhaustionFallsBackToIndependent) {
     ASSERT_NO_THROW(faulted_round_trip(cfg, driver, hier_hints(), &stats));
     EXPECT_GT(stats.degradation().fallback_ranks, 0u);
   }
+}
+
+/// Memory-aware aggregator placement routes around whole-node
+/// exhaustion at plan time, so on a small cluster the local ladder never
+/// bottoms out and the borrow rung stays cold. Pinning placement to the
+/// locality order (memory_aware off) forces aggregators onto the
+/// exhausted nodes — the deterministic way to drive rung 4 in a test.
+core::MccioConfig locality_placement() {
+  core::MccioConfig cfg;
+  cfg.memory_aware = false;
+  return cfg;
+}
+
+io::Hints borrow_hints(bool hier = false) {
+  io::Hints h;
+  h.borrow_far_memory = true;
+  // MiniCluster nodes hold ~1 MiB: the default 1 MiB donor reserve would
+  // veto every election, so scale it to the testbed.
+  h.borrow_donor_reserve = 64 << 10;
+  h.fault_shrink_floor = 8 << 10;
+  h.cb_node_leaders = hier;
+  return h;
+}
+
+TEST(BorrowFarMemory, PartialExhaustionBorrowsAndStaysCorrect) {
+  // Nodes 0 and 1 are exhausted for the whole run (seeded draw at
+  // exhaust=0.3); node 2 keeps its full draw and becomes the donor.
+  // Aggregators on the exhausted nodes bottom out their local ladder and
+  // must lease fabric-backed windows instead of going independent — and
+  // every byte must still land bit-correct.
+  node::FaultConfig cfg;
+  cfg.exhaust_rate = 0.3;
+  metrics::CollectiveStats stats;
+  core::MccioDriver driver(locality_placement());
+  ASSERT_NO_THROW(
+      faulted_round_trip(cfg, driver, borrow_hints(), &stats));
+  const metrics::DegradationStats& d = stats.degradation();
+  EXPECT_GT(d.borrows, 0u);
+  EXPECT_GT(d.borrowed_bytes, 0u);
+  EXPECT_EQ(d.fallback_ranks, 0u);  // the rescue kept every group collective
+}
+
+TEST(BorrowFarMemory, DonorRevocationDemotesCleanly) {
+  // Every granted lease — donor leases included — is revoked shortly
+  // after the grant. Borrowed windows must migrate or demote without
+  // corrupting data, and the donor-side revocations must be counted
+  // separately from local ones.
+  node::FaultConfig cfg;
+  cfg.exhaust_rate = 0.3;
+  cfg.revoke_rate = 1.0;
+  metrics::CollectiveStats stats;
+  core::MccioDriver driver(locality_placement());
+  ASSERT_NO_THROW(
+      faulted_round_trip(cfg, driver, borrow_hints(), &stats));
+  const metrics::DegradationStats& d = stats.degradation();
+  EXPECT_GT(d.borrows, 0u);
+  EXPECT_GT(d.donor_revocations, 0u);
+}
+
+TEST(BorrowFarMemory, TotalDenialStillDescendsToSpill) {
+  // With every lease attempt denied the borrow rung is reached and then
+  // denied too (donor draws share the fault plan): the ladder must keep
+  // descending to the swap spill instead of wedging in the borrow loop.
+  node::FaultConfig cfg;
+  cfg.denial_rate = 1.0;
+  metrics::CollectiveStats stats;
+  core::MccioDriver driver;
+  ASSERT_NO_THROW(
+      faulted_round_trip(cfg, driver, borrow_hints(), &stats));
+  const metrics::DegradationStats& d = stats.degradation();
+  EXPECT_GT(d.borrow_denials, 0u);
+  EXPECT_GT(d.spills, 0u);
+  EXPECT_EQ(d.borrows, 0u);
+}
+
+TEST(BorrowFarMemory, FullExhaustionHasNoDonorAndFallsBack) {
+  // Every node exhausted: there is nobody to borrow from. The hint must
+  // not keep dead groups alive — the plan-time independent fallback
+  // still fires exactly as with borrow off.
+  node::FaultConfig cfg;
+  cfg.exhaust_rate = 1.0;
+  metrics::CollectiveStats stats;
+  core::MccioDriver driver;
+  ASSERT_NO_THROW(
+      faulted_round_trip(cfg, driver, borrow_hints(), &stats));
+  const metrics::DegradationStats& d = stats.degradation();
+  EXPECT_EQ(d.borrows, 0u);
+  EXPECT_GT(d.fallback_ranks, 0u);
+}
+
+TEST(BorrowFarMemory, ComposesWithNodeLeaderHierarchy) {
+  // Leaders on exhausted nodes run their combine windows out of borrowed
+  // fabric memory while relaying over shm — the two hints must compose
+  // without wedging and without corrupting either phase.
+  node::FaultConfig cfg;
+  cfg.exhaust_rate = 0.3;
+  metrics::CollectiveStats stats;
+  core::MccioDriver driver(locality_placement());
+  ASSERT_NO_THROW(
+      faulted_round_trip(cfg, driver, borrow_hints(/*hier=*/true),
+                         &stats));
+  EXPECT_GT(stats.degradation().borrows, 0u);
+}
+
+TEST(BorrowFarMemory, AuditorSeesBalancedDonorLeases) {
+  // Every donor lease granted over the fabric must be released by the
+  // end of the collective that took it: the lease ledger (per manager,
+  // per node) has to balance even under revocation churn.
+  MiniCluster cluster;
+  verify::Auditor auditor;
+  auditor.set_deferred(true);
+  cluster.machine().set_observer(&auditor);
+  cluster.fs().set_observer(&auditor);
+  cluster.memory().set_observer(&auditor);
+  node::FaultConfig cfg;
+  cfg.exhaust_rate = 0.3;
+  cfg.revoke_rate = 0.5;
+  node::FaultPlan plan(3, cfg);
+  cluster.memory().set_fault_plan(&plan);
+  metrics::CollectiveStats stats;
+  core::MccioDriver driver(locality_placement());
+  round_trip(cluster, driver, cluster.total_ranks(), ior_factory,
+             /*seed=*/42, borrow_hints(), &stats);
+  cluster.memory().set_fault_plan(nullptr);
+  EXPECT_GT(stats.degradation().borrows, 0u);
+  for (const verify::Finding& f : auditor.findings()) {
+    ADD_FAILURE() << f.kind << ": " << f.message;
+  }
+  // Restore the process-wide observer before the cluster is destroyed.
+  cluster.machine().set_observer(verify::global_observer());
+  cluster.fs().set_observer(verify::global_observer());
+  cluster.memory().set_observer(verify::global_observer());
 }
 
 /// One faulted collective write+read; returns per-rank finish times.
