@@ -6,12 +6,18 @@
 
 #include <sys/resource.h>
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <exception>
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <mutex>
+#include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -27,6 +33,7 @@
 #include "util/bytes.h"
 #include "util/check.h"
 #include "util/cli.h"
+#include "util/memtrack.h"
 #include "verify/auditor.h"
 #include "util/json.h"
 #include "util/table.h"
@@ -51,20 +58,83 @@ inline double wall_now() {
       .count();
 }
 
-/// Peak resident set size of this process in bytes.
-inline std::uint64_t peak_rss_bytes() {
+/// Peak resident set size of this *process* in bytes — a lifetime
+/// high-water mark that only ever grows. Useful as a whole-run figure;
+/// never attribute it to an individual sweep point (ISSUE 8: every later
+/// point would inherit the max of the earlier ones). Per-point peaks come
+/// from util::memtrack instead.
+inline std::uint64_t run_peak_rss_bytes() {
   rusage ru{};
   getrusage(RUSAGE_SELF, &ru);
   // ru_maxrss is KiB on Linux.
   return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
 }
 
+/// Runs tasks 0..n-1 on up to `threads` host threads. threads <= 1 is a
+/// plain sequential loop (the exact classic code path). Tasks must be
+/// independent: each bench point builds its own simulation stack, so
+/// running them concurrently cannot change any simulated number — the
+/// only shared mutable state, the global audit counters, merges through
+/// Auditor::absorb_counters. The first task exception is rethrown after
+/// all workers drain.
+inline void parallel_for(int threads, int n,
+                         const std::function<void(int)>& fn) {
+  if (threads <= 1 || n <= 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<int> next{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  auto worker = [&] {
+    for (;;) {
+      const int i = next.fetch_add(1);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  const int width = std::min(threads, n);
+  pool.reserve(static_cast<std::size_t>(width));
+  for (int t = 0; t < width; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+/// Host-side meters of one bench task: wall clock and the peak of
+/// tracked heap allocations while it ran (memtrack is thread-local, so a
+/// task's meters are valid wherever the pool schedules it).
+struct TaskMeter {
+  double wall_s = 0.0;
+  std::uint64_t tracked_peak_bytes = 0;
+};
+
+/// Meters `fn` on the calling thread: resets the thread's allocation
+/// tracker, runs it, and reports wall time + allocation high-water.
+inline TaskMeter metered(const std::function<void()>& fn) {
+  TaskMeter m;
+  const double t0 = wall_now();
+  util::memtrack::reset();
+  fn();
+  m.tracked_peak_bytes = util::memtrack::peak_bytes();
+  m.wall_s = wall_now() - t0;
+  return m;
+}
+
 /// Machine-readable results behind `--json[=path]`; the bare flag writes
 /// BENCH_<name>.json in the working directory. Each figure point records
 /// whatever simulated metrics the caller sets plus the host wall-clock
-/// spent producing it and the process peak RSS — the numbers the perf
-/// harness tracks across revisions. The human-readable table output is
-/// unchanged either way.
+/// spent producing it and its tracked-allocation peak — the numbers the
+/// perf harness tracks across revisions. Per-point `peak_rss_bytes` is
+/// the thread-local allocation high-water (reset per point); the
+/// process-lifetime getrusage maximum is reported once, per document, as
+/// `run_peak_rss_bytes` (it is monotone and must not be attributed to
+/// points). The human-readable table output is unchanged either way.
 class JsonReporter {
  public:
   JsonReporter(const util::Cli& cli, std::string name)
@@ -75,21 +145,34 @@ class JsonReporter {
       path_ = "BENCH_" + name_ + ".json";
     }
     mark_ = start_ = wall_now();
+    util::memtrack::reset();
   }
 
   bool enabled() const { return !path_.empty(); }
 
   /// Records one figure point; chain .set() on the result to attach the
-  /// point's parameters and simulated metrics. The wall-clock charged to
-  /// the point covers everything since the previous add_point() (or
-  /// construction), so call it right after computing the point.
+  /// point's parameters and simulated metrics. The wall-clock and the
+  /// allocation peak charged to the point cover everything since the
+  /// previous add_point() (or construction), so call it right after
+  /// computing the point — or use the explicit-meter overload when
+  /// points are computed on a pool.
   util::Json& add_point(std::string label) {
     const double now = wall_now();
+    util::Json& p =
+        add_point(std::move(label),
+                  TaskMeter{now - mark_, util::memtrack::peak_bytes()});
+    mark_ = now;
+    util::memtrack::reset();
+    return p;
+  }
+
+  /// Records one figure point whose meters were measured by the caller
+  /// (bench::metered() inside a parallel_for task).
+  util::Json& add_point(std::string label, const TaskMeter& meter) {
     util::Json p = util::Json::object();
     p.set("label", std::move(label));
-    p.set("wall_s", now - mark_);
-    p.set("peak_rss_bytes", peak_rss_bytes());
-    mark_ = now;
+    p.set("wall_s", meter.wall_s);
+    p.set("peak_rss_bytes", meter.tracked_peak_bytes);
     points_.push_back(std::move(p));
     return points_.back();
   }
@@ -98,10 +181,10 @@ class JsonReporter {
   void write() {
     if (!enabled()) return;
     util::Json doc = util::Json::object();
-    doc.set("schema", "mcio-bench-v1");
+    doc.set("schema", "mcio-bench-v2");
     doc.set("bench", name_);
     doc.set("wall_s", wall_now() - start_);
-    doc.set("peak_rss_bytes", peak_rss_bytes());
+    doc.set("run_peak_rss_bytes", run_peak_rss_bytes());
     // Audit counters (README "Audit counters"): present unless the
     // process opted out with --no-audit.
     if (verify::global_audit_active()) {
@@ -223,6 +306,18 @@ struct RunOptions {
   /// (buffer negotiation before data movement) as every other point —
   /// otherwise the first step of the sweep compares two protocols.
   bool attach_fault_plan = false;
+  /// Engine shard count (`--sim-shards`): partitions the run's fibers
+  /// over sim_shards worker threads by home node. Simulated output is
+  /// byte-identical for every value — the sharded engine replays the
+  /// sequential event order exactly (DESIGN.md §12) — so this is a
+  /// determinism-property knob, not a speedup knob.
+  int sim_shards = 1;
+  /// Audit this run through a private deferred Auditor instead of the
+  /// global one, folding its counters into the global totals afterwards.
+  /// Required when run_experiment calls execute concurrently (the global
+  /// Auditor is single-simulation state); findings become a thrown
+  /// util::Error either way.
+  bool private_audit = false;
 };
 
 /// Attaches the degradation-ladder counters of one collective phase to a
@@ -266,7 +361,27 @@ inline void set_message_counters(util::Json& point,
 /// collective read; returns the paper-style aggregate bandwidths.
 inline RunResult run_experiment(const RunOptions& opt,
                                 const BenchPlanFactory& make_plan) {
+  // Concurrent experiments cannot share the global Auditor (it holds
+  // single-simulation state); give each its own and fold the monotone
+  // counters back into the global totals on completion. Enforcement is
+  // unchanged: a private Auditor throws on findings exactly like the
+  // global one. Declared before the simulation stack — Machine, Pfs and
+  // MemoryManager all notify their observer from their destructors.
+  std::optional<verify::Auditor> private_auditor;
+  if (opt.private_audit && verify::global_audit_active()) {
+    private_auditor.emplace();
+  }
+  struct AbsorbOnExit {
+    verify::Auditor* aud;
+    ~AbsorbOnExit() {
+      if (aud != nullptr) {
+        verify::global_auditor().absorb_counters(aud->counters());
+      }
+    }
+  } absorb{private_auditor ? &*private_auditor : nullptr};
+
   mpi::Machine machine(opt.testbed.cluster());
+  machine.set_sim_shards(opt.sim_shards);
   pfs::Pfs fs(machine.cluster(), opt.testbed.pfs());
   node::MemoryVariance var;
   var.relative_stdev = opt.mem_stdev;
@@ -275,6 +390,12 @@ inline RunResult run_experiment(const RunOptions& opt,
   node::FaultPlan fault_plan(opt.testbed.nodes, opt.faults);
   if (opt.faults.any() || opt.attach_fault_plan) {
     memory.set_fault_plan(&fault_plan);
+  }
+
+  if (private_auditor) {
+    machine.set_observer(&*private_auditor);
+    fs.set_observer(&*private_auditor);
+    memory.set_observer(&*private_auditor);
   }
 
   io::TwoPhaseDriver two_phase;
@@ -341,5 +462,103 @@ inline std::vector<std::uint64_t> paper_memory_sweep() {
   return {128 * kMiB, 64 * kMiB, 32 * kMiB, 16 * kMiB,
           8 * kMiB,   4 * kMiB,  2 * kMiB};
 }
+
+/// One memory-sweep point of Figures 6-8: the baseline and MCCIO runs at
+/// one aggregation-memory setting, plus host meters covering both runs
+/// (wall summed, allocation peak maxed — the two runs may execute on
+/// different pool threads, so their thread-local peaks are independent).
+struct SweepPoint {
+  std::uint64_t mem_bytes = 0;
+  RunResult normal;
+  RunResult mccio;
+  TaskMeter meter;
+};
+
+/// Computes the (memory × {two-phase, mccio}) grid of a figure on up to
+/// `threads` host threads (`--threads`). Every cell builds its own
+/// simulation stack, so the grid parallelizes without changing any
+/// simulated number; concurrent cells audit through private Auditors
+/// (counters fold into the global totals, which stay independent of
+/// scheduling). Results come back in sweep order — callers emit their
+/// tables and JSON sequentially afterwards, so the figure output is
+/// identical for every --threads value; only host wall time varies.
+inline std::vector<SweepPoint> run_memory_sweep(
+    int threads, const std::vector<std::uint64_t>& mems,
+    const RunOptions& base, const BenchPlanFactory& make_plan) {
+  std::vector<SweepPoint> points(mems.size());
+  for (std::size_t i = 0; i < mems.size(); ++i) {
+    points[i].mem_bytes = mems[i];
+  }
+  const int n = static_cast<int>(mems.size()) * 2;
+  std::vector<TaskMeter> meters(static_cast<std::size_t>(n));
+  parallel_for(threads, n, [&](int task) {
+    SweepPoint& pt = points[static_cast<std::size_t>(task / 2)];
+    const bool is_mccio = (task % 2) != 0;
+    RunOptions opt = base;
+    opt.mem_mean = pt.mem_bytes;
+    opt.driver = is_mccio ? DriverKind::kMccio : DriverKind::kTwoPhase;
+    opt.private_audit = threads > 1;
+    RunResult& out = is_mccio ? pt.mccio : pt.normal;
+    meters[static_cast<std::size_t>(task)] =
+        metered([&] { out = run_experiment(opt, make_plan); });
+  });
+  for (std::size_t i = 0; i < mems.size(); ++i) {
+    const TaskMeter& a = meters[2 * i];
+    const TaskMeter& b = meters[2 * i + 1];
+    points[i].meter.wall_s = a.wall_s + b.wall_s;
+    points[i].meter.tracked_peak_bytes =
+        std::max(a.tracked_peak_bytes, b.tracked_peak_bytes);
+  }
+  return points;
+}
+
+/// CHECK-fails unless two sweeps produced identical simulated results:
+/// bandwidths bit-exact, aggregation and message counters equal. Host
+/// meters are exempt — wall clock legitimately varies. Backs the
+/// --threads-sweep determinism assertion (every simulated number must be
+/// independent of both host threads and engine shards).
+inline void check_sweep_equal(const std::vector<SweepPoint>& a,
+                              const std::vector<SweepPoint>& b) {
+  MCIO_CHECK_EQ(a.size(), b.size());
+  const auto check_stats = [](const metrics::CollectiveStats& x,
+                              const metrics::CollectiveStats& y) {
+    MCIO_CHECK_EQ(x.num_aggregators(), y.num_aggregators());
+    MCIO_CHECK_EQ(x.num_groups(), y.num_groups());
+    MCIO_CHECK_EQ(x.msgs_intra_node(), y.msgs_intra_node());
+    MCIO_CHECK_EQ(x.msgs_inter_node(), y.msgs_inter_node());
+    MCIO_CHECK_EQ(x.bytes_inter_node(), y.bytes_inter_node());
+    MCIO_CHECK_EQ(x.shuffle_intra_node(), y.shuffle_intra_node());
+    MCIO_CHECK_EQ(x.shuffle_inter_node(), y.shuffle_inter_node());
+    MCIO_CHECK_EQ(x.rmw_bytes(), y.rmw_bytes());
+    MCIO_CHECK_EQ(x.io_bytes(), y.io_bytes());
+  };
+  const auto check_run = [&](const RunResult& x, const RunResult& y) {
+    MCIO_CHECK_EQ(x.write_bw, y.write_bw);
+    MCIO_CHECK_EQ(x.read_bw, y.read_bw);
+    check_stats(x.write_stats, y.write_stats);
+    check_stats(x.read_stats, y.read_stats);
+  };
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    MCIO_CHECK_EQ(a[i].mem_bytes, b[i].mem_bytes);
+    check_run(a[i].normal, b[i].normal);
+    check_run(a[i].mccio, b[i].mccio);
+  }
+}
+
+/// Consumes the shared host-parallelism flags of the figure benches:
+/// `--threads` (sweep cells run on this many host threads) and
+/// `--sim-shards` (each simulation's engine runs sharded over this many
+/// workers). Neither changes any simulated output.
+struct ParallelFlags {
+  int threads = 1;
+  int sim_shards = 1;
+
+  explicit ParallelFlags(const util::Cli& cli)
+      : threads(static_cast<int>(cli.get_int("threads", 1))),
+        sim_shards(static_cast<int>(cli.get_int("sim-shards", 1))) {
+    MCIO_CHECK_GE(threads, 1);
+    MCIO_CHECK_GE(sim_shards, 1);
+  }
+};
 
 }  // namespace mcio::bench

@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
   w.interleaved = true;
   const double stdev = cli.get_double("mem-stdev", 0.5);
   const bool hier = cli.get_bool("hier", false);
+  const bench::ParallelFlags par(cli);
   bench::JsonReporter rep(cli, "fig7_ior120");
   bench::configure_audit(cli);
   cli.check_unused();
@@ -38,24 +39,23 @@ int main(int argc, char** argv) {
   double wr_gain_sum = 0.0;
   double rd_gain_sum = 0.0;
   int count = 0;
-  for (const std::uint64_t mem : bench::paper_memory_sweep()) {
-    bench::RunOptions base;
-    base.driver = bench::DriverKind::kTwoPhase;
-    base.nranks = nranks;
-    base.testbed = tb;
-    base.mem_mean = mem;
-    base.mem_stdev = stdev;
-    base.hints.cb_node_leaders = hier;
-    const auto normal = bench::run_experiment(base, make_plan);
-
-    bench::RunOptions mc = base;
-    mc.driver = bench::DriverKind::kMccio;
-    const auto mccio = bench::run_experiment(mc, make_plan);
+  bench::RunOptions base;
+  base.nranks = nranks;
+  base.testbed = tb;
+  base.mem_stdev = stdev;
+  base.hints.cb_node_leaders = hier;
+  base.sim_shards = par.sim_shards;
+  const auto points = bench::run_memory_sweep(
+      par.threads, bench::paper_memory_sweep(), base, make_plan);
+  for (const bench::SweepPoint& pt : points) {
+    const std::uint64_t mem = pt.mem_bytes;
+    const bench::RunResult& normal = pt.normal;
+    const bench::RunResult& mccio = pt.mccio;
 
     const double wr_gain = mccio.write_bw / normal.write_bw - 1.0;
     const double rd_gain = mccio.read_bw / normal.read_bw - 1.0;
     util::Json& point =
-        rep.add_point(util::format_bytes(mem))
+        rep.add_point(util::format_bytes(mem), pt.meter)
             .set("mem_bytes", mem)
             .set("normal_write_mbs", normal.write_bw / 1e6)
             .set("mccio_write_mbs", mccio.write_bw / 1e6)

@@ -32,36 +32,6 @@ std::uint64_t fnv1a(std::uint64_t h, const std::byte* data,
   return h;
 }
 
-/// Brackets one driver run in deferred-audit mode and hands back its
-/// findings. The Auditor is process-global and (by default) enforcing —
-/// a finding thrown mid-run would be indistinguishable from a driver
-/// crash, so the oracle defers, snapshots, and restores the prior mode.
-/// Any findings pending before the scope are dropped (the fuzz harness
-/// owns the auditor while it runs).
-class AuditorScope {
- public:
-  AuditorScope() : auditor_(verify::global_auditor()) {
-    was_deferred_ = auditor_.deferred();
-    auditor_.set_deferred(true);
-    auditor_.clear_findings();
-  }
-
-  ~AuditorScope() {
-    auditor_.clear_findings();
-    auditor_.set_deferred(was_deferred_);
-  }
-
-  std::vector<verify::Finding> take_findings() {
-    std::vector<verify::Finding> out = auditor_.findings();
-    auditor_.clear_findings();
-    return out;
-  }
-
- private:
-  verify::Auditor& auditor_;
-  bool was_deferred_ = false;
-};
-
 io::Hints hints_for(const Scenario& s, DriverKind kind) {
   io::Hints h;
   h.cb_buffer_size = s.cb_buffer_size;
@@ -114,9 +84,20 @@ const char* driver_kind_name(DriverKind kind) {
   return "?";
 }
 
-RunOutcome run_scenario(const Scenario& scenario, DriverKind kind) {
+RunOutcome run_scenario(const Scenario& scenario, DriverKind kind,
+                        const OracleOptions& options) {
   scenario.validate();
   RunOutcome out;
+
+  // A private deferred Auditor per run: enforcing mode would make a
+  // finding thrown mid-run indistinguishable from a driver crash, and a
+  // run-local instance (instead of the global one) makes the oracle
+  // reentrant for the case-parallel fuzz loop. Declared before the
+  // simulation stack — Machine, Pfs and MemoryManager all notify their
+  // observer from their destructors. Monotone counters fold into the
+  // global totals on return.
+  verify::Auditor audit;
+  audit.set_deferred(true);
 
   // A fresh cluster + PFS + memory stack per run: the three drivers see
   // byte-identical clones of the same simulated world.
@@ -124,6 +105,8 @@ RunOutcome run_scenario(const Scenario& scenario, DriverKind kind) {
   cluster.num_nodes = scenario.nodes;
   cluster.ranks_per_node = scenario.ranks_per_node;
   mpi::Machine machine(cluster);
+  machine.set_sim_shards(options.sim_shards);
+  machine.set_observer(&audit);
 
   pfs::PfsConfig pfs_config;
   pfs_config.num_osts = scenario.num_osts;
@@ -131,6 +114,7 @@ RunOutcome run_scenario(const Scenario& scenario, DriverKind kind) {
   pfs_config.max_rpc_bytes = scenario.max_rpc_bytes;
   pfs_config.store_data = true;
   pfs::Pfs fs(machine.cluster(), pfs_config);
+  fs.set_observer(&audit);
 
   node::MemoryVariance variance;
   variance.relative_stdev = scenario.mem_stdev;
@@ -142,6 +126,7 @@ RunOutcome run_scenario(const Scenario& scenario, DriverKind kind) {
                                                       64ull << 10));
   node::MemoryManager memory(cluster, scenario.mem_mean, variance,
                              scenario.mem_seed);
+  memory.set_observer(&audit);
 
   std::optional<node::FaultPlan> faults;
   const node::FaultConfig fault_config = fault_config_for(scenario);
@@ -174,7 +159,6 @@ RunOutcome run_scenario(const Scenario& scenario, DriverKind kind) {
       static_cast<std::size_t>(scenario.nranks), kFnvOffset);
   pfs::FileHandle handle = -1;
 
-  AuditorScope audit;
   try {
     machine.run(scenario.nranks, [&](mpi::Rank& rank) {
       const std::vector<util::Extent> extents =
@@ -207,13 +191,15 @@ RunOutcome run_scenario(const Scenario& scenario, DriverKind kind) {
   }
 
   const bool tolerate_duplicates = scenario.has_cross_rank_overlap();
-  for (verify::Finding& f : audit.take_findings()) {
+  for (const verify::Finding& f : audit.findings()) {
     if (tolerate_duplicates && f.kind == "byte-duplicate") {
       ++out.tolerated_duplicates;
       continue;
     }
-    out.findings.push_back(std::move(f));
+    out.findings.push_back(f);
   }
+  out.counters = audit.counters();
+  verify::global_auditor().absorb_counters(audit.counters());
 
   if (out.completed) {
     MCIO_CHECK_GE(handle, 0);
@@ -236,12 +222,14 @@ RunOutcome run_scenario(const Scenario& scenario, DriverKind kind) {
   return out;
 }
 
-DiffResult run_differential(const Scenario& scenario) {
+DiffResult run_differential(const Scenario& scenario,
+                            const OracleOptions& options) {
   DiffResult result;
   result.scenario = scenario;
   for (const DriverKind kind : {DriverKind::kMccio, DriverKind::kTwoPhase,
                                 DriverKind::kIndependent}) {
-    result.runs[static_cast<int>(kind)] = run_scenario(scenario, kind);
+    result.runs[static_cast<int>(kind)] =
+        run_scenario(scenario, kind, options);
   }
   return result;
 }

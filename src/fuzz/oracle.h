@@ -47,6 +47,11 @@ struct RunOutcome {
   std::vector<verify::Finding> findings;
   /// Tolerated byte-duplicate findings (overlap scenarios only).
   std::uint64_t tolerated_duplicates = 0;
+  /// This run's private-auditor totals — every event the run produced.
+  /// The shards-matrix determinism tests compare these across engine
+  /// shard counts (the audit trail must be identical, not just the
+  /// bytes).
+  verify::AuditCounters counters;
 };
 
 struct DiffResult {
@@ -66,10 +71,22 @@ struct DiffResult {
   std::string classify() const;
 };
 
+/// Host-side knobs of one oracle run. Neither changes any simulated
+/// byte: sim_shards shards the engine's workers (DESIGN.md §12), and the
+/// shards-matrix soak in tools/fuzz_driver.cc asserts exactly that.
+struct OracleOptions {
+  int sim_shards = 1;
+};
+
 /// Runs the scenario under one driver on a fresh simulated machine.
-RunOutcome run_scenario(const Scenario& scenario, DriverKind kind);
+/// Reentrant: each run audits through its own deferred Auditor (folding
+/// monotone counters into the global totals), so concurrent calls from a
+/// case-parallel fuzz loop are safe.
+RunOutcome run_scenario(const Scenario& scenario, DriverKind kind,
+                        const OracleOptions& options = {});
 
 /// Runs all three drivers and compares.
-DiffResult run_differential(const Scenario& scenario);
+DiffResult run_differential(const Scenario& scenario,
+                            const OracleOptions& options = {});
 
 }  // namespace mcio::fuzz

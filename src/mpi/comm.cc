@@ -58,16 +58,16 @@ void Comm::send(int dst, int tag, util::ConstPayload data) {
   sim::Actor& actor = owner_->actor();
   actor.sync();  // interact in global virtual-time order
   const int wdst = world_rank(dst);
-  const sim::SimTime arrival = machine_->transfer(
-      node_of(rank()), node_of(dst), data.size, actor.now());
-  actor.advance(machine_->config().send_overhead);
   Envelope env;
   env.comm_id = comm_id_;
   env.src = rank();
   env.tag = tag;
   env.body = util::OwnedPayload(data);
-  env.arrival = arrival;
-  machine_->deliver(wdst, std::move(env));
+  // Source-side transport is charged here; a cross-shard receiver's NIC
+  // ingress + delivery apply on its own shard at this slice's stamp.
+  machine_->transfer_deliver(node_of(rank()), node_of(dst), wdst,
+                             std::move(env), data.size, actor.now());
+  actor.advance(machine_->config().send_overhead);
 }
 
 Request Comm::isend(int dst, int tag, util::ConstPayload data) {
@@ -152,14 +152,16 @@ void Comm::send_blob(int dst, int tag, std::span<const std::byte> blob) {
   // (size header, then body) so the simulated clock and resource state
   // are bit-identical; deliver the result as a single framed envelope.
   actor.sync();
-  const sim::SimTime header_arrival = machine_->transfer(
-      node_of(rank()), node_of(dst), sizeof(size), actor.now());
+  auto header_arrival = std::make_shared<sim::SimTime>(0.0);
+  machine_->charge_transfer(node_of(rank()), node_of(dst), wdst,
+                            sizeof(size), actor.now(), header_arrival);
   actor.advance(machine_->config().send_overhead);
-  sim::SimTime arrival = header_arrival;
+  auto arrival = header_arrival;
   if (size > 0) {
     actor.sync();
-    arrival = machine_->transfer(node_of(rank()), node_of(dst), size,
-                                 actor.now());
+    arrival = std::make_shared<sim::SimTime>(0.0);
+    machine_->charge_transfer(node_of(rank()), node_of(dst), wdst, size,
+                              actor.now(), arrival);
     actor.advance(machine_->config().send_overhead);
   }
   Envelope env;
@@ -169,9 +171,10 @@ void Comm::send_blob(int dst, int tag, std::span<const std::byte> blob) {
   env.body = util::OwnedPayload(
       util::ConstPayload::real(size > 0 ? blob.data() : nullptr, size));
   env.framed = true;
-  env.header_arrival = header_arrival;
-  env.arrival = arrival;
-  machine_->deliver(wdst, std::move(env));
+  // Arrival stamps resolve on the destination shard (deferred ingress
+  // charges); deliver_framed reads them at apply time.
+  machine_->deliver_framed(wdst, std::move(env), std::move(header_arrival),
+                           std::move(arrival));
 }
 
 void Comm::send_shm(int dst, int tag, util::ConstPayload data) {

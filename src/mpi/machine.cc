@@ -19,14 +19,20 @@ std::vector<sim::SimTime> Machine::run(
                  "nranks " << nranks << " exceeds cluster slots "
                            << cluster_.total_ranks());
   endpoints_.assign(static_cast<std::size_t>(nranks), Endpoint{});
-  sim::Engine engine;
+  sim::Engine::Options eopt;
+  eopt.threads = sim_shards_;
+  sim::Engine engine(eopt);
   engine.set_observer(observer_);
   engine_ = &engine;
   for (int r = 0; r < nranks; ++r) {
-    engine.spawn([this, r, &body](sim::Actor& actor) {
-      Rank rank(*this, actor, r);
-      body(rank);
-    });
+    // Shard hint = the rank's node: co-located ranks (dense intra-node
+    // traffic) share a worker; only NIC/fabric traffic crosses shards.
+    engine.spawn(
+        [this, r, &body](sim::Actor& actor) {
+          Rank rank(*this, actor, r);
+          body(rank);
+        },
+        cluster_.node_of_rank(r));
   }
   try {
     engine.run();
@@ -52,6 +58,12 @@ std::vector<sim::SimTime> Machine::run(
   return engine.finish_times();
 }
 
+void Machine::set_sim_shards(int shards) {
+  MCIO_CHECK_GE(shards, 1);
+  MCIO_CHECK_MSG(engine_ == nullptr, "set_sim_shards during run()");
+  sim_shards_ = shards;
+}
+
 std::uint64_t Machine::intern_group(const std::vector<int>& world_members) {
   auto [it, inserted] =
       group_ids_.try_emplace(world_members, group_ids_.size() + 1);
@@ -75,7 +87,89 @@ sim::SimTime Machine::shm_transfer(int node, std::uint64_t bytes,
   return cluster_.shm(node).serve(start, static_cast<double>(bytes));
 }
 
+void Machine::transfer_deliver(int src_node, int dst_node, int world_dst,
+                               Envelope env, std::uint64_t bytes,
+                               sim::SimTime start) {
+  const auto fbytes = static_cast<double>(bytes);
+  if (src_node == dst_node) {
+    // Intra-node: one membus pass; same node means same shard, so the
+    // delivery below never routes through a mailbox.
+    env.arrival = cluster_.membus(src_node).serve(start, fbytes);
+    deliver(world_dst, std::move(env));
+    return;
+  }
+  const sim::SimTime sent = cluster_.nic_out(src_node).serve(start, fbytes);
+  if (engine_ != nullptr && engine_->cross_shard(world_dst)) {
+    // The receiver's NIC ingress belongs to the destination shard: the
+    // serve is applied at this slice's stamp in the merged order, which
+    // reproduces the single-threaded ingress-queue FIFO exactly.
+    engine_->post_remote(
+        world_dst,
+        [this, dst_node, world_dst, fbytes, sent,
+         env = std::move(env)]() mutable {
+          env.arrival = cluster_.nic_in(dst_node).serve(sent, fbytes);
+          deliver_now(world_dst, std::move(env));
+        });
+    return;
+  }
+  env.arrival = cluster_.nic_in(dst_node).serve(sent, fbytes);
+  deliver_now(world_dst, std::move(env));
+}
+
+void Machine::charge_transfer(int src_node, int dst_node, int world_dst,
+                              std::uint64_t bytes, sim::SimTime start,
+                              std::shared_ptr<sim::SimTime> arrival_out) {
+  const auto fbytes = static_cast<double>(bytes);
+  if (src_node == dst_node) {
+    *arrival_out = cluster_.membus(src_node).serve(start, fbytes);
+    return;
+  }
+  const sim::SimTime sent = cluster_.nic_out(src_node).serve(start, fbytes);
+  if (engine_ != nullptr && engine_->cross_shard(world_dst)) {
+    engine_->post_remote(
+        world_dst,
+        [this, dst_node, fbytes, sent, arrival_out = std::move(arrival_out)] {
+          *arrival_out = cluster_.nic_in(dst_node).serve(sent, fbytes);
+        });
+    return;
+  }
+  *arrival_out = cluster_.nic_in(dst_node).serve(sent, fbytes);
+}
+
+void Machine::deliver_framed(int world_dst, Envelope env,
+                             std::shared_ptr<sim::SimTime> header_arrival,
+                             std::shared_ptr<sim::SimTime> arrival) {
+  if (engine_ != nullptr && engine_->cross_shard(world_dst)) {
+    engine_->post_remote(
+        world_dst,
+        [this, world_dst, env = std::move(env),
+         header_arrival = std::move(header_arrival),
+         arrival = std::move(arrival)]() mutable {
+          // Mailbox FIFO order has already applied this sender's ingress
+          // charges, so the shared stamps are resolved by now.
+          env.header_arrival = *header_arrival;
+          env.arrival = *arrival;
+          deliver_now(world_dst, std::move(env));
+        });
+    return;
+  }
+  env.header_arrival = *header_arrival;
+  env.arrival = *arrival;
+  deliver_now(world_dst, std::move(env));
+}
+
 void Machine::deliver(int world_dst, Envelope env) {
+  if (engine_ != nullptr && engine_->cross_shard(world_dst)) {
+    engine_->post_remote(world_dst,
+                         [this, world_dst, env = std::move(env)]() mutable {
+                           deliver_now(world_dst, std::move(env));
+                         });
+    return;
+  }
+  deliver_now(world_dst, std::move(env));
+}
+
+void Machine::deliver_now(int world_dst, Envelope env) {
   Endpoint& ep = endpoint(world_dst);
   const std::shared_ptr<RecvSlot> slot = ep.match_posted(env);
   observer_->on_message_delivered(env.comm_id, env.src, world_dst, env.tag,

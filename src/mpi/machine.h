@@ -36,6 +36,12 @@ class Machine {
   std::vector<sim::SimTime> run(int nranks,
                                 const std::function<void(Rank&)>& body);
 
+  /// Engine shards (worker threads) for subsequent run() calls. Ranks
+  /// are partitioned by node, so co-located ranks stay on one shard;
+  /// results are bit-identical for any value (DESIGN.md §12).
+  void set_sim_shards(int shards);
+  int sim_shards() const { return sim_shards_; }
+
   /// Interns a communicator group; identical member lists get the same id.
   std::uint64_t intern_group(const std::vector<int>& world_members);
 
@@ -54,7 +60,37 @@ class Machine {
 
   /// Delivers an envelope to a world rank: matches a posted receive or
   /// queues as unexpected; wakes the destination if it is parked waiting.
+  /// When the destination rank lives on another engine shard, the
+  /// delivery is routed through the cross-shard mailbox (applied at the
+  /// current slice's position in the global order — byte-identical to
+  /// the single-threaded inline delivery).
   void deliver(int world_dst, Envelope env);
+
+  /// Transport + delivery of one envelope whose arrival is still
+  /// unknown: charges the source-side leg inline and computes the
+  /// destination-side NIC ingress on the *destination's* shard for a
+  /// cross-shard receiver, then delivers. Same-node transfers (one
+  /// membus pass) are always same-shard and stay inline.
+  void transfer_deliver(int src_node, int dst_node, int world_dst,
+                        Envelope env, std::uint64_t bytes,
+                        sim::SimTime start);
+
+  /// One transport pass of the framed (header/body) blob protocol:
+  /// charges the source-side leg inline; the destination-side ingress
+  /// charge is deferred to the destination's shard and written into
+  /// `*arrival_out` when it is applied. Single-threaded (and same-shard)
+  /// runs fill `*arrival_out` before returning, exactly like transfer().
+  void charge_transfer(int src_node, int dst_node, int world_dst,
+                       std::uint64_t bytes, sim::SimTime start,
+                       std::shared_ptr<sim::SimTime> arrival_out);
+
+  /// Delivers a framed envelope whose arrival stamps were produced by
+  /// charge_transfer(): the shared slots are read when the delivery is
+  /// applied on the destination shard, after its deferred ingress
+  /// charges (mailbox FIFO order guarantees they resolve first).
+  void deliver_framed(int world_dst, Envelope env,
+                      std::shared_ptr<sim::SimTime> header_arrival,
+                      std::shared_ptr<sim::SimTime> arrival);
 
   Endpoint& endpoint(int world_rank);
   sim::Engine& engine();
@@ -66,10 +102,14 @@ class Machine {
   verify::Observer* observer() const { return observer_; }
 
  private:
+  /// Applies a delivery to the destination endpoint (no shard routing).
+  void deliver_now(int world_dst, Envelope env);
+
   sim::Cluster cluster_;
   std::vector<Endpoint> endpoints_;
   std::map<std::vector<int>, std::uint64_t> group_ids_;
   sim::Engine* engine_ = nullptr;  // valid during run()
+  int sim_shards_ = 1;
   verify::Observer* observer_;
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <sstream>
+#include <thread>
+#include <utility>
 
 #include "util/check.h"
 
@@ -20,15 +22,26 @@ void Actor::sync() {
 }
 
 void Actor::park() {
-  engine_->actors_[static_cast<std::size_t>(id_)].state =
-      Engine::State::kParked;
+  auto& slot = engine_->actors_[static_cast<std::size_t>(id_)];
+  if (slot.wake_token) {
+    // An unpark raced ahead of this park (cross-shard wakeups, or a
+    // waker that ran while we were still runnable): consume the token
+    // instead of blocking on a wakeup that already happened.
+    slot.wake_token = false;
+    advance_to(slot.wake_time);
+    slot.wake_time = 0.0;
+    return;
+  }
+  slot.state = Engine::State::kParked;
   engine_->yield_from(id_);
 }
 
 Engine::Engine() : Engine(Options{}) {}
 
 Engine::Engine(Options options)
-    : options_(options), observer_(verify::default_observer()) {}
+    : options_(options), observer_(verify::default_observer()) {
+  MCIO_CHECK_GE(options_.threads, 1);
+}
 
 void Engine::set_observer(verify::Observer* observer) {
   observer_ = verify::observer_or_noop(observer);
@@ -36,14 +49,60 @@ void Engine::set_observer(verify::Observer* observer) {
 
 Engine::~Engine() = default;
 
-int Engine::spawn(std::function<void(Actor&)> body) {
+int Engine::spawn(std::function<void(Actor&)> body, int shard_hint) {
   MCIO_CHECK_MSG(!running_, "spawn() after run() started");
   const int id = static_cast<int>(actors_.size());
   ActorSlot slot;
   slot.actor = std::unique_ptr<Actor>(new Actor(this, id));
   actors_.push_back(std::move(slot));
   pending_bodies_.push_back(std::move(body));
+  shard_hints_.push_back(shard_hint < 0 ? id : shard_hint);
   return id;
+}
+
+int Engine::shard_of(int actor_id) const {
+  return shard_of_.at(static_cast<std::size_t>(actor_id));
+}
+
+bool Engine::cross_shard(int actor_id) const {
+  if (nshards_ == 1 || cur_slice_actor_ < 0) return false;
+  return shard_of_[static_cast<std::size_t>(actor_id)] !=
+         shard_of_[static_cast<std::size_t>(cur_slice_actor_)];
+}
+
+void Engine::post_remote(int target_actor, std::function<void()> apply) {
+  MCIO_CHECK_MSG(cross_shard(target_actor),
+                 "post_remote to same-shard actor " << target_actor);
+  const int src = shard_of_[static_cast<std::size_t>(cur_slice_actor_)];
+  const int dst = shard_of_[static_cast<std::size_t>(target_actor)];
+  mailboxes_[static_cast<std::size_t>(src * nshards_ + dst)].push_back(
+      RemoteEvent{cur_slice_time_, cur_slice_actor_, remote_seq_++,
+                  std::move(apply)});
+  ++pending_remote_;
+}
+
+void Engine::drain_mailboxes() {
+  if (pending_remote_ == 0) return;
+  // Merge every pending cross-shard effect into the (t, src, seq) total
+  // order. Drains run at every slice boundary, so in practice the batch
+  // is the just-finished slice's output; the sort makes the order an
+  // invariant rather than a scheduling accident.
+  std::vector<RemoteEvent> batch;
+  batch.reserve(static_cast<std::size_t>(pending_remote_));
+  for (auto& box : mailboxes_) {
+    while (!box.empty()) {
+      batch.push_back(std::move(box.front()));
+      box.pop_front();
+    }
+  }
+  pending_remote_ = 0;
+  std::sort(batch.begin(), batch.end(),
+            [](const RemoteEvent& a, const RemoteEvent& b) {
+              if (a.t != b.t) return a.t < b.t;
+              if (a.src_actor != b.src_actor) return a.src_actor < b.src_actor;
+              return a.seq < b.seq;
+            });
+  for (RemoteEvent& e : batch) e.apply();
 }
 
 void Engine::body_wrapper(int id, const std::function<void(Actor&)>& body) {
@@ -55,13 +114,39 @@ void Engine::body_wrapper(int id, const std::function<void(Actor&)>& body) {
   }
   slot.state = State::kDone;
   finish_times_[static_cast<std::size_t>(id)] = slot.actor->now();
-  // Falling off the fiber body returns to main_ctx_ via uc_link.
+  // Falling off the fiber body returns to the scheduler context via
+  // uc_link / the fast-switch entry thunk.
 }
 
 void Engine::run() {
   MCIO_CHECK_MSG(!running_, "run() is not reentrant");
   running_ = true;
   finish_times_.assign(actors_.size(), 0.0);
+  nshards_ = std::clamp(options_.threads, 1,
+                        std::max<int>(1, static_cast<int>(actors_.size())));
+  shard_of_.resize(actors_.size());
+  for (std::size_t i = 0; i < actors_.size(); ++i) {
+    shard_of_[i] = shard_hints_[i] % nshards_;
+  }
+  if (nshards_ == 1) {
+    run_single();
+  } else {
+    run_sharded();
+  }
+}
+
+void Engine::run_slice(int id, FiberContext* scheduler_ctx) {
+  auto& slot = actors_[static_cast<std::size_t>(id)];
+  slot.state = State::kRunning;
+  cur_slice_actor_ = id;
+  cur_slice_time_ = slot.actor->now();
+  observer_->on_actor_resumed(id, slot.actor->now());
+  slot.fiber->resume_from(scheduler_ctx);
+  observer_->on_actor_yielded(id, slot.actor->now());
+  cur_slice_actor_ = -1;
+}
+
+void Engine::run_single() {
   for (std::size_t i = 0; i < actors_.size(); ++i) {
     const int id = static_cast<int>(i);
     auto body = std::move(pending_bodies_[i]);
@@ -77,14 +162,75 @@ void Engine::run() {
   while (!ready_.empty()) {
     const auto [t, id] = ready_.top();
     ready_.pop();
-    auto& slot = actors_[static_cast<std::size_t>(id)];
-    slot.state = State::kRunning;
-    observer_->on_actor_resumed(id, slot.actor->now());
-    slot.fiber->resume_from(&main_ctx_);
-    observer_->on_actor_yielded(id, slot.actor->now());
+    run_slice(id, &main_ctx_);
     if (error_) std::rethrow_exception(error_);
   }
+  check_no_deadlock();
+}
 
+void Engine::run_sharded() {
+  worker_ctx_.assign(static_cast<std::size_t>(nshards_), FiberContext{});
+  mailboxes_.assign(static_cast<std::size_t>(nshards_ * nshards_), {});
+  remote_seq_ = 0;
+  pending_remote_ = 0;
+  stop_ = false;
+  for (std::size_t i = 0; i < actors_.size(); ++i) {
+    const int id = static_cast<int>(i);
+    auto body = std::move(pending_bodies_[i]);
+    actors_[i].fiber = std::make_unique<Fiber>(
+        options_.stack_bytes,
+        [this, id, body = std::move(body)] { body_wrapper(id, body); },
+        &worker_ctx_[static_cast<std::size_t>(shard_of_[i])]);
+    ready_.push({0.0, id});
+  }
+  pending_bodies_.clear();
+  observer_->on_engine_start(static_cast<int>(actors_.size()));
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<std::size_t>(nshards_));
+  for (int s = 0; s < nshards_; ++s) {
+    workers.emplace_back([this, s] { worker_loop(s); });
+  }
+  for (std::thread& w : workers) w.join();
+  worker_ctx_.clear();
+  if (error_) std::rethrow_exception(error_);
+  check_no_deadlock();
+}
+
+void Engine::worker_loop(int shard) {
+  // One worker at a time owns the scheduler lock across a whole slice
+  // (fibers themselves never touch the lock — every engine call from
+  // inside a slice runs on this thread, under this acquisition). The
+  // pop order is therefore exactly the single-threaded heap order; the
+  // threads only decide *where* each slice's fiber stack lives.
+  std::unique_lock<std::mutex> lk(mu_);
+  while (!stop_) {
+    if (ready_.empty()) {
+      // Nothing runnable and no slice in flight (we hold the lock):
+      // the simulation is finished or deadlocked. Either way, stop.
+      stop_ = true;
+      break;
+    }
+    const auto [t, id] = ready_.top();
+    if (shard_of_[static_cast<std::size_t>(id)] != shard) {
+      // The globally next slice belongs to another shard; its worker
+      // will be notified at the next boundary.
+      cv_.wait(lk);
+      continue;
+    }
+    ready_.pop();
+    run_slice(id, &worker_ctx_[static_cast<std::size_t>(shard)]);
+    // Apply cross-shard effects before the next pop so the heap state
+    // every later slice sees matches the single-threaded run, and so a
+    // cross-shard unpark can never be mistaken for a deadlock.
+    drain_mailboxes();
+    if (error_) stop_ = true;
+    cv_.notify_all();
+  }
+  cv_.notify_all();
+}
+
+void Engine::check_no_deadlock() {
   // Everyone must have finished; parked actors with no waker = deadlock.
   std::ostringstream stuck_text;
   std::vector<int> stuck;
@@ -102,10 +248,16 @@ void Engine::run() {
 
 void Engine::unpark(int actor_id, SimTime not_before) {
   auto& slot = actors_.at(static_cast<std::size_t>(actor_id));
-  MCIO_CHECK_MSG(slot.state == State::kParked,
-                 "unpark of non-parked actor " << actor_id);
-  slot.actor->advance_to(not_before);
-  make_ready(actor_id);
+  MCIO_CHECK_MSG(slot.state != State::kDone,
+                 "unpark of finished actor " << actor_id);
+  if (slot.state == State::kParked) {
+    slot.actor->advance_to(not_before);
+    make_ready(actor_id);
+    return;
+  }
+  // Not parked yet: record a wakeup token the next park() consumes.
+  slot.wake_token = true;
+  slot.wake_time = std::max(slot.wake_time, not_before);
 }
 
 bool Engine::is_parked(int actor_id) const {
@@ -120,7 +272,13 @@ SimTime Engine::makespan() const {
 }
 
 void Engine::yield_from(int id) {
-  actors_[static_cast<std::size_t>(id)].fiber->yield_to(&main_ctx_);
+  auto& slot = actors_[static_cast<std::size_t>(id)];
+  if (nshards_ > 1) {
+    const int shard = shard_of_[static_cast<std::size_t>(id)];
+    slot.fiber->yield_to(&worker_ctx_[static_cast<std::size_t>(shard)]);
+    return;
+  }
+  slot.fiber->yield_to(&main_ctx_);
 }
 
 void Engine::make_ready(int id) {

@@ -1,16 +1,31 @@
 // The deterministic virtual-time scheduler.
 //
-// Every actor (MPI rank) is a fiber with its own virtual clock. Actors run
-// one at a time; whenever an actor is about to *interact* with shared state
-// (post a message, match a receive, use a resource) it calls sync(), which
-// yields until it is the globally lowest-clock runnable actor. All
-// interactions therefore execute in global virtual-time order, which makes
-// the simulation both causal and bit-for-bit reproducible.
+// Every actor (MPI rank) is a fiber with its own virtual clock. Whenever
+// an actor is about to *interact* with shared state (post a message,
+// match a receive, use a resource) it calls sync(), which yields until it
+// is the globally lowest-(clock, id) runnable actor. All interactions
+// therefore execute in global virtual-time order, which makes the
+// simulation both causal and bit-for-bit reproducible.
+//
+// Sharded mode (Options::threads > 1, DESIGN.md §12): actors are
+// partitioned into shards by a spawn-time hint (the machine passes the
+// rank's node), each shard's fibers are pinned to one worker thread, and
+// the workers jointly replay the same global (clock, id) pop order under
+// one scheduler lock. Cross-shard effects travel through per-shard-pair
+// mailboxes as closures stamped with (virtual time, source actor, seq)
+// and are merged in that total order at slice boundaries — so the
+// interleaving, and therefore every byte of output, is identical for any
+// thread count. threads == 1 keeps the exact classic single-threaded
+// loop (no locks, no mailboxes).
 #pragma once
 
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <queue>
 #include <vector>
 
@@ -40,7 +55,9 @@ class Actor {
   void sync();
 
   /// Blocks until another actor calls Engine::unpark() on this id. The
-  /// clock after waking is max(clock at park, wake time).
+  /// clock after waking is max(clock at park, wake time). If an unpark
+  /// arrived while this actor was still runnable (the wakeup token of
+  /// DESIGN.md §12), park() consumes it and returns without blocking.
   void park();
 
   Engine& engine() const { return *engine_; }
@@ -59,6 +76,9 @@ class Engine {
  public:
   struct Options {
     std::size_t stack_bytes = 256 * 1024;
+    /// Worker threads (= shards) for run(). 1 is the classic
+    /// single-threaded loop; any value yields bit-identical results.
+    int threads = 1;
   };
 
   Engine();
@@ -69,14 +89,20 @@ class Engine {
   Engine& operator=(const Engine&) = delete;
 
   /// Registers an actor; returns its id (dense, starting at 0). Must be
-  /// called before run().
-  int spawn(std::function<void(Actor&)> body);
+  /// called before run(). `shard_hint` groups actors onto worker threads
+  /// in sharded mode (the machine passes the rank's node so co-located
+  /// ranks share a shard); hint -1 spreads actors round-robin by id.
+  /// The hint can never affect simulated results, only thread placement.
+  int spawn(std::function<void(Actor&)> body, int shard_hint = -1);
 
   /// Runs all actors to completion. Throws util::Error on deadlock and
   /// re-throws the first exception escaping an actor body.
   void run();
 
-  /// Wakes a parked actor; its clock becomes max(current, not_before).
+  /// Wakes a parked actor; its clock becomes max(current, wake time).
+  /// If the target is not parked (it is still runnable, or the unpark
+  /// raced ahead of its park across shards), a wakeup token is recorded
+  /// and the target's next park() consumes it instead of blocking.
   /// Callable from inside a running actor or before run().
   void unpark(int actor_id, SimTime not_before);
 
@@ -84,6 +110,24 @@ class Engine {
   bool is_parked(int actor_id) const;
 
   std::size_t num_actors() const { return actors_.size(); }
+
+  /// Shards the current/last run executes with (1 until run() starts).
+  int num_shards() const { return nshards_; }
+
+  /// The shard `actor_id` is pinned to.
+  int shard_of(int actor_id) const;
+
+  /// True when `actor_id` lives on a different shard than the actor whose
+  /// slice is currently executing. Always false in single-threaded mode —
+  /// callers use this to route cross-shard effects through post_remote().
+  bool cross_shard(int actor_id) const;
+
+  /// Defers `apply` to `target_actor`'s shard through the per-shard-pair
+  /// mailbox, stamped (current slice virtual time, current actor, seq).
+  /// Mailboxes are merged in that total order at the next slice boundary,
+  /// which reproduces the single-threaded interleaving exactly. Only
+  /// legal while cross_shard(target_actor) is true.
+  void post_remote(int target_actor, std::function<void()> apply);
 
   /// Virtual time at which each actor finished (valid after run()).
   const std::vector<SimTime>& finish_times() const { return finish_times_; }
@@ -106,15 +150,39 @@ class Engine {
     std::unique_ptr<Actor> actor;
     std::unique_ptr<Fiber> fiber;
     State state = State::kReady;
+    /// Wakeup token: an unpark that arrived while the actor was
+    /// runnable; consumed by the next park() (see unpark()).
+    bool wake_token = false;
+    SimTime wake_time = 0.0;
+  };
+
+  /// One deferred cross-shard effect, ordered by (t, src_actor, seq).
+  struct RemoteEvent {
+    SimTime t = 0.0;
+    int src_actor = -1;
+    std::uint64_t seq = 0;
+    std::function<void()> apply;
   };
 
   void yield_from(int id);           // fiber -> scheduler
   void make_ready(int id);           // insert into ready set
   void body_wrapper(int id, const std::function<void(Actor&)>& body);
+  void run_single();
+  void run_sharded();
+  void worker_loop(int shard);
+  /// Runs one slice of `id` on the calling thread; scheduler lock (if
+  /// any) stays held throughout — fibers never block on it themselves.
+  void run_slice(int id, FiberContext* scheduler_ctx);
+  /// Applies all pending cross-shard events in (t, src_actor, seq) order.
+  void drain_mailboxes();
+  void check_no_deadlock();
 
   Options options_;
   std::vector<ActorSlot> actors_;
   std::vector<std::function<void(Actor&)>> pending_bodies_;
+  std::vector<int> shard_hints_;
+  std::vector<int> shard_of_;
+  int nshards_ = 1;
   // Ready actors, popped in (clock, id) order: deterministic global
   // order. Each actor appears at most once, so a binary min-heap picks
   // the same element an ordered set would, without a node allocation
@@ -124,6 +192,27 @@ class Engine {
                       std::greater<>>
       ready_;
   FiberContext main_ctx_{};
+  /// Scheduler context per shard worker (sharded mode only); fibers of a
+  /// shard yield to — and are resumed from — their worker's context.
+  std::vector<FiberContext> worker_ctx_;
+  /// Per-(src shard, dst shard) mailbox of deferred effects, indexed
+  /// src * nshards + dst. FIFO per pair; pairs merge by stamp. The
+  /// global scheduler lock already serializes access, so a plain deque
+  /// (filled on the source worker, drained at the next slice boundary)
+  /// gives the SPSC discipline without a lock-free ring.
+  std::vector<std::deque<RemoteEvent>> mailboxes_;
+  std::uint64_t remote_seq_ = 0;
+  std::uint64_t pending_remote_ = 0;
+  /// Pop stamp of the slice currently executing (-1 actor = none); the
+  /// stamp every post_remote() in that slice carries.
+  SimTime cur_slice_time_ = 0.0;
+  int cur_slice_actor_ = -1;
+  /// Scheduler lock for sharded mode: held by exactly one worker across
+  /// each slice + mailbox drain, so all engine state — and everything a
+  /// fiber touches while running — stays single-writer at a time.
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
   verify::Observer* observer_;
   std::exception_ptr error_;
   std::vector<SimTime> finish_times_;

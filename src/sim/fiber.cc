@@ -1,9 +1,49 @@
 #include "sim/fiber.h"
 
+#include <sys/mman.h>
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstring>
 
 #include "util/check.h"
+
+namespace mcio::sim {
+
+namespace {
+
+std::size_t page_size() {
+  static const std::size_t size =
+      static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return size;
+}
+
+std::size_t round_up_to_page(std::size_t n) {
+  const std::size_t p = page_size();
+  return (n + p - 1) / p * p;
+}
+
+}  // namespace
+
+FiberStack::FiberStack(std::size_t usable_bytes) {
+  MCIO_CHECK_GE(usable_bytes, 16u * 1024u);
+  guard_bytes_ = page_size();
+  map_bytes_ = guard_bytes_ + round_up_to_page(usable_bytes);
+  void* map = mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  MCIO_CHECK_MSG(map != MAP_FAILED,
+                 "fiber stack mmap of " << map_bytes_ << " bytes failed");
+  map_ = static_cast<char*>(map);
+  // The guard page sits *below* the stack: x86-64/common ABIs grow stacks
+  // downward, so overflow runs off base() into the unmapped page.
+  MCIO_CHECK_EQ(mprotect(map_, guard_bytes_, PROT_NONE), 0);
+}
+
+FiberStack::~FiberStack() {
+  if (map_ != nullptr) munmap(map_, map_bytes_);
+}
+
+}  // namespace mcio::sim
 
 #if defined(MCIO_FIBER_FAST_SWITCH)
 
@@ -33,8 +73,7 @@ namespace mcio::sim {
 
 Fiber::Fiber(std::size_t stack_bytes, std::function<void()> body,
              FiberContext* link)
-    : stack_(new char[stack_bytes]), link_(link), body_(std::move(body)) {
-  MCIO_CHECK_GE(stack_bytes, 16u * 1024u);
+    : stack_(stack_bytes), link_(link), body_(std::move(body)) {
   // Build the frame mcio_fiber_switch expects to unwind, so the first
   // resume "returns" into the entry thunk with r12 = this. Layout below
   // `top` (16-byte aligned), one 8-byte slot each:
@@ -43,7 +82,7 @@ Fiber::Fiber(std::size_t stack_bytes, std::function<void()> body,
   //   -24 rbp   -32 rbx   -40 r12 = this
   //   -48 r13   -56 r14   -64 r15
   //   -72 MXCSR (4 bytes) + x87 control word (2 bytes)
-  char* top = stack_.get() + stack_bytes;
+  char* top = stack_.top();
   top -= reinterpret_cast<std::uintptr_t>(top) % 16;
   auto put = [top](int offset, std::uint64_t v) {
     std::memcpy(top - offset, &v, sizeof(v));
@@ -75,26 +114,52 @@ void Fiber::yield_to(FiberContext* to) { mcio_fiber_switch(&ctx_, *to); }
 
 namespace mcio::sim {
 
+// makecontext() can only pass integer arguments, so the Fiber pointer
+// crosses as two 32-bit halves. The split/reassembly is only sound on
+// the layouts we rely on; pin them down at compile time (ISSUE 8):
+//  - a pointer must fit in two unsigned halves,
+//  - `unsigned` must hold a full 32-bit half, and
+//  - the reassembly below must widen *zero*-extended: uintptr_t casts of
+//    unsigned never sign-extend, unlike casts of plain int (makecontext's
+//    declared variadic type), which would smear bit 31 of the low half
+//    across the high word on LP64.
+static_assert(sizeof(void*) <= 2 * sizeof(unsigned),
+              "Fiber* does not fit in two makecontext words");
+static_assert(sizeof(unsigned) * 8 >= 32,
+              "unsigned cannot carry a 32-bit pointer half");
+static_assert(static_cast<std::uintptr_t>(
+                  static_cast<unsigned>(0x80000000u)) == 0x80000000u,
+              "unsigned->uintptr_t must zero-extend");
+
 void Fiber::trampoline(unsigned hi, unsigned lo) {
-  auto* self = reinterpret_cast<Fiber*>(
-      (static_cast<std::uintptr_t>(hi) << 32) |
-      static_cast<std::uintptr_t>(lo));
+  // Reassemble in uint64 (not uintptr_t) so the shift is well-defined on
+  // 32-bit targets too, then narrow to the pointer width.
+  const std::uint64_t bits = (static_cast<std::uint64_t>(hi) << 32) |
+                             static_cast<std::uint64_t>(lo);
+  auto* self =
+      reinterpret_cast<Fiber*>(static_cast<std::uintptr_t>(bits));
   self->body_();
   // Returning lets ucontext fall through to ctx_.uc_link (the scheduler).
 }
 
 Fiber::Fiber(std::size_t stack_bytes, std::function<void()> body,
              FiberContext* link)
-    : stack_(new char[stack_bytes]), link_(link), body_(std::move(body)) {
-  MCIO_CHECK_GE(stack_bytes, 16u * 1024u);
+    : stack_(stack_bytes), link_(link), body_(std::move(body)) {
   MCIO_CHECK_EQ(getcontext(&ctx_), 0);
-  ctx_.uc_stack.ss_sp = stack_.get();
-  ctx_.uc_stack.ss_size = stack_bytes;
+  ctx_.uc_stack.ss_sp = stack_.base();
+  ctx_.uc_stack.ss_size = stack_.usable_bytes();
   ctx_.uc_link = link;
-  const auto ptr = reinterpret_cast<std::uintptr_t>(this);
+  const auto ptr =
+      static_cast<std::uint64_t>(reinterpret_cast<std::uintptr_t>(this));
+  const auto hi = static_cast<unsigned>(ptr >> 32);
+  const auto lo = static_cast<unsigned>(ptr & 0xffffffffu);
+  // Runtime half of the static_asserts: the exact halves we are about to
+  // hand makecontext must reassemble to this Fiber.
+  MCIO_CHECK_EQ(
+      (static_cast<std::uint64_t>(hi) << 32) | static_cast<std::uint64_t>(lo),
+      ptr);
   makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::trampoline), 2,
-              static_cast<unsigned>(ptr >> 32),
-              static_cast<unsigned>(ptr & 0xffffffffu));
+              hi, lo);
 }
 
 void Fiber::resume_from(FiberContext* from) {

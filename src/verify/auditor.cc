@@ -1,6 +1,7 @@
 #include "verify/auditor.h"
 
 #include <algorithm>
+#include <mutex>
 #include <sstream>
 #include <utility>
 
@@ -512,6 +513,26 @@ void Auditor::on_run_end() {
 void Auditor::on_run_aborted() {
   reset_transient();
   if (!deferred_) findings_.clear();
+}
+
+void Auditor::absorb_counters(const AuditCounters& other) {
+  // Serializes concurrent absorbs from parallel bench/fuzz tasks; the
+  // auditor's own event path stays single-threaded per attached run.
+  static std::mutex mu;
+  const std::lock_guard<std::mutex> lock(mu);
+  counters_.runs += other.runs;
+  counters_.slices += other.slices;
+  counters_.messages += other.messages;
+  counters_.unexpected += other.unexpected;
+  counters_.waits += other.waits;
+  counters_.lease_grants += other.lease_grants;
+  counters_.lease_releases += other.lease_releases;
+  counters_.pfs_writes += other.pfs_writes;
+  counters_.pfs_reads += other.pfs_reads;
+  counters_.pfs_bytes_written += other.pfs_bytes_written;
+  counters_.pfs_bytes_read += other.pfs_bytes_read;
+  counters_.collectives += other.collectives;
+  counters_.findings += other.findings;
 }
 
 Auditor& global_auditor() {

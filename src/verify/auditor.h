@@ -64,6 +64,9 @@ struct AuditCounters {
   std::uint64_t pfs_bytes_read = 0;
   std::uint64_t collectives = 0;      ///< collective epochs closed
   std::uint64_t findings = 0;         ///< findings ever recorded
+
+  friend bool operator==(const AuditCounters&,
+                         const AuditCounters&) = default;
 };
 
 class Auditor final : public Observer {
@@ -83,6 +86,14 @@ class Auditor final : public Observer {
   bool clean() const { return findings_.empty(); }
   void clear_findings() { findings_.clear(); }
   const AuditCounters& counters() const { return counters_; }
+
+  /// Folds another auditor's monotone counters into this one. Safe
+  /// against concurrent absorb_counters() calls: parallel bench/fuzz
+  /// tasks each audit their own simulation with a private Auditor and
+  /// fold its totals into the global instance when they finish — the
+  /// sums are commutative, so the global totals are independent of task
+  /// completion order (and of --threads entirely).
+  void absorb_counters(const AuditCounters& other);
 
   /// Multi-line "kind: message" listing of the current findings.
   std::string report() const;

@@ -1,0 +1,127 @@
+// The determinism matrix (ISSUE 8): figure-shaped sweeps and fuzz
+// scenarios must produce byte-identical simulated results at every
+// combination of host threads (--threads) and engine shards
+// (--sim-shards) — including the audit counter trail.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common.h"  // the bench harness (tests/CMakeLists adds bench/)
+#include "fuzz/oracle.h"
+#include "fuzz/scenario_gen.h"
+#include "workloads/collperf.h"
+#include "workloads/ior.h"
+
+namespace mcio {
+namespace {
+
+using util::kMiB;
+
+bench::RunOptions small_testbed() {
+  bench::RunOptions base;
+  base.testbed.nodes = 4;
+  base.nranks = 16;
+  return base;
+}
+
+bench::BenchPlanFactory ior_factory() {
+  return [](int rank, int p) {
+    workloads::IorConfig w;
+    w.block_size = 4ull << 20;
+    w.transfer_size = 256ull << 10;
+    w.segments = 1;
+    w.interleaved = true;
+    return workloads::ior_plan(
+        rank, p, w,
+        util::Payload::virtual_bytes(workloads::ior_bytes_per_rank(w)));
+  };
+}
+
+bench::BenchPlanFactory collperf_factory() {
+  return [](int rank, int p) {
+    workloads::CollPerfConfig w;
+    w.dims = {64, 64, 64};
+    w.elem_size = 8;
+    return workloads::collperf_plan(
+        rank, p, w,
+        util::Payload::virtual_bytes(
+            workloads::collperf_bytes_per_rank(rank, p, w)));
+  };
+}
+
+/// The sub-sweep keeping the matrix fast while still crossing the
+/// memory-starved regime where schedules differ most.
+std::vector<std::uint64_t> mini_sweep() {
+  return {8 * kMiB, 4 * kMiB, 2 * kMiB};
+}
+
+void expect_matrix_identical(const bench::RunOptions& base,
+                             const bench::BenchPlanFactory& plan) {
+  const auto golden =
+      bench::run_memory_sweep(1, mini_sweep(), base, plan);
+  // Host-thread axis: cells computed concurrently.
+  for (const int threads : {2, 8}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    bench::check_sweep_equal(
+        golden, bench::run_memory_sweep(threads, mini_sweep(), base, plan));
+  }
+  // Engine-shard axis: each simulation itself runs sharded.
+  for (const int shards : {2, 8}) {
+    SCOPED_TRACE("sim_shards=" + std::to_string(shards));
+    bench::RunOptions sharded = base;
+    sharded.sim_shards = shards;
+    bench::check_sweep_equal(
+        golden, bench::run_memory_sweep(1, mini_sweep(), sharded, plan));
+  }
+  // Both axes at once.
+  bench::RunOptions both = base;
+  both.sim_shards = 2;
+  bench::check_sweep_equal(
+      golden, bench::run_memory_sweep(2, mini_sweep(), both, plan));
+}
+
+TEST(DeterminismMatrix, Fig7ShapedIorSweep) {
+  expect_matrix_identical(small_testbed(), ior_factory());
+}
+
+TEST(DeterminismMatrix, Fig8ShapedHierarchicalIorSweep) {
+  bench::RunOptions base = small_testbed();
+  base.hints.cb_node_leaders = true;  // fig8 --hier code path
+  expect_matrix_identical(base, ior_factory());
+}
+
+TEST(DeterminismMatrix, Fig6ShapedCollPerfSweep) {
+  expect_matrix_identical(small_testbed(), collperf_factory());
+}
+
+TEST(DeterminismMatrix, FuzzOracleIdenticalAcrossShards) {
+  const fuzz::ScenarioGen gen(2026);
+  for (std::uint64_t i = 0; i < 6; ++i) {
+    const fuzz::Scenario s = gen.generate(i);
+    const fuzz::DiffResult base = fuzz::run_differential(s);
+    for (const int shards : {2, 8}) {
+      fuzz::OracleOptions opt;
+      opt.sim_shards = shards;
+      const fuzz::DiffResult r = fuzz::run_differential(s, opt);
+      EXPECT_EQ(r.classify(), base.classify())
+          << "case " << i << " shards " << shards;
+      for (int d = 0; d < 3; ++d) {
+        SCOPED_TRACE("case " + std::to_string(i) + " driver " +
+                     std::to_string(d) + " shards " +
+                     std::to_string(shards));
+        EXPECT_EQ(r.runs[d].completed, base.runs[d].completed);
+        EXPECT_EQ(r.runs[d].file_hash, base.runs[d].file_hash);
+        EXPECT_EQ(r.runs[d].read_hash, base.runs[d].read_hash);
+        EXPECT_EQ(r.runs[d].pattern_ok, base.runs[d].pattern_ok);
+        EXPECT_EQ(r.runs[d].findings.size(), base.runs[d].findings.size());
+        // The audit trail — every delivered message, wait, lease and
+        // PFS access — must match event-for-event, not just the bytes.
+        EXPECT_TRUE(r.runs[d].counters == base.runs[d].counters);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mcio

@@ -1,0 +1,244 @@
+// Sharded engine (DESIGN.md §12): identical results for every thread
+// count, deterministic cross-shard mailbox merging under flood, the
+// unpark-before-park wakeup token, and the fiber guard page.
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "io/two_phase_driver.h"
+#include "sim/engine.h"
+#include "sim/fiber.h"
+#include "testing.h"
+#include "util/check.h"
+
+namespace mcio::sim {
+namespace {
+
+/// A sync-heavy mixed workload: staggered advances, syncs and a
+/// park/unpark pair, exercising every scheduler transition.
+std::vector<SimTime> run_workload(int threads,
+                                  const std::vector<int>& hints) {
+  Engine::Options opt;
+  opt.threads = threads;
+  Engine engine(opt);
+  constexpr int kActors = 12;
+  int parker = -1;
+  for (int i = 0; i < kActors; ++i) {
+    const int hint = hints.empty() ? -1 : hints[static_cast<size_t>(i)];
+    const int id = engine.spawn(
+        [i, &parker](Actor& a) {
+          for (int k = 0; k < 20; ++k) {
+            a.advance(0.001 * ((i * 7 + k) % 5 + 1));
+            a.sync();
+          }
+          if (i == 0) {
+            a.park();  // lint:allow unobserved-park (scheduler's own test)
+          } else if (i == 1) {
+            a.advance(1.0);
+            a.sync();
+            if (a.engine().is_parked(parker)) {
+              a.engine().unpark(parker, a.now());
+            }
+          }
+        },
+        hint);
+    if (i == 0) parker = id;
+  }
+  engine.run();
+  return engine.finish_times();
+}
+
+TEST(ShardedEngine, FinishTimesIdenticalForEveryThreadCount) {
+  const std::vector<SimTime> single = run_workload(1, {});
+  for (const int threads : {2, 3, 8}) {
+    EXPECT_EQ(run_workload(threads, {}), single)
+        << "threads=" << threads << " diverged from the classic loop";
+  }
+}
+
+TEST(ShardedEngine, ShardHintsCannotChangeResults) {
+  const std::vector<SimTime> base = run_workload(4, {});
+  // All actors on one shard, reversed placement, scattered placement:
+  // pure thread-placement choices, so results must not move.
+  EXPECT_EQ(run_workload(4, std::vector<int>(12, 0)), base);
+  std::vector<int> reversed;
+  for (int i = 0; i < 12; ++i) reversed.push_back(11 - i);
+  EXPECT_EQ(run_workload(4, reversed), base);
+  std::vector<int> scattered;
+  for (int i = 0; i < 12; ++i) scattered.push_back((i * 5) % 3);
+  EXPECT_EQ(run_workload(4, scattered), base);
+}
+
+/// Floods the cross-shard mailboxes: every actor posts a remote event to
+/// every other-shard actor on every slice. The applied log must be
+/// complete (nothing dropped under load) and identical across runs (the
+/// (time, source, seq) merge is a total order, not a race).
+struct FloodResult {
+  std::vector<std::tuple<int, int, int>> log;  ///< (target, src, k)
+  std::uint64_t posted = 0;
+};
+
+FloodResult run_flood(int threads) {
+  Engine::Options opt;
+  opt.threads = threads;
+  Engine engine(opt);
+  FloodResult out;
+  constexpr int kActors = 12;
+  for (int i = 0; i < kActors; ++i) {
+    engine.spawn([i, &engine, &out](Actor& a) {
+      for (int k = 0; k < 10; ++k) {
+        a.advance(0.001 * ((i + k) % 4 + 1));
+        a.sync();
+        for (int target = 0; target < kActors; ++target) {
+          if (!engine.cross_shard(target)) continue;
+          ++out.posted;
+          engine.post_remote(target, [target, i, k, &out] {
+            out.log.emplace_back(target, i, k);
+          });
+        }
+      }
+    });
+  }
+  engine.run();
+  return out;
+}
+
+TEST(ShardedEngine, MailboxFloodCompleteAndDeterministic) {
+  for (const int threads : {2, 4, 8}) {
+    const FloodResult first = run_flood(threads);
+    // Every slice sees 9 of the 12 actors on other shards (12 actors
+    // round-robin over >= 2 shards), and every posted event applies.
+    EXPECT_GT(first.posted, 0u) << "threads=" << threads;
+    EXPECT_EQ(first.log.size(), first.posted) << "threads=" << threads;
+    const FloodResult second = run_flood(threads);
+    EXPECT_EQ(second.posted, first.posted);
+    EXPECT_EQ(second.log, first.log)
+        << "threads=" << threads << ": mailbox merge order is racy";
+  }
+}
+
+void run_token_workload(int threads) {
+  Engine::Options opt;
+  opt.threads = threads;
+  Engine engine(opt);
+  bool woke = false;
+  int sleeper = -1;
+  sleeper = engine.spawn([&](Actor& a) {
+    a.advance(1.0);
+    a.sync();
+    // The unpark below already happened (at virtual time 0): park must
+    // consume its token and return without blocking.
+    a.park();  // lint:allow unobserved-park (scheduler's own test)
+    woke = true;
+    EXPECT_DOUBLE_EQ(a.now(), 1.0);  // token time 0.5 never rewinds
+    // A second park has no token: it must genuinely block for the
+    // late unparker.
+    a.park();  // lint:allow unobserved-park (scheduler's own test)
+    EXPECT_DOUBLE_EQ(a.now(), 2.0);
+  });
+  engine.spawn([&, sleeper](Actor& a) {
+    EXPECT_FALSE(a.engine().is_parked(sleeper));
+    a.engine().unpark(sleeper, 0.5);  // unpark-before-park
+  });
+  engine.spawn([&, sleeper](Actor& a) {
+    a.advance(2.0);
+    a.sync();
+    EXPECT_TRUE(a.engine().is_parked(sleeper));
+    a.engine().unpark(sleeper, a.now());
+  });
+  engine.run();
+  EXPECT_TRUE(woke);
+}
+
+TEST(ShardedEngine, UnparkBeforeParkConsumesToken) {
+  run_token_workload(1);
+  run_token_workload(3);
+}
+
+TEST(ShardedEngine, TokenDoesNotLeakAcrossParks) {
+  // A token is one wakeup: an actor that parks twice after a single
+  // early unpark must deadlock on the second park.
+  Engine engine;
+  const int sleeper = engine.spawn([](Actor& a) {
+    a.sync();
+    a.park();  // lint:allow unobserved-park (consumes the token)
+    a.park();  // lint:allow unobserved-park (deliberate deadlock)
+  });
+  engine.spawn([sleeper](Actor& a) {
+    a.engine().unpark(sleeper, 0.0);
+  });
+  EXPECT_THROW(engine.run(), util::Error);
+}
+
+TEST(ShardedEngine, MachineRunIdenticalAcrossSimShards) {
+  // A fig-shaped mini collective on 1, 2 and 8 engine shards: the
+  // round-trip itself byte-verifies the file and read-back, and the
+  // exchange counters pin the message schedule.
+  auto run_once = [](int shards) {
+    mcio::testing::MiniCluster cluster;
+    cluster.machine().set_sim_shards(shards);
+    io::TwoPhaseDriver driver;
+    metrics::CollectiveStats stats;
+    const int nranks = cluster.total_ranks();
+    mcio::testing::round_trip(
+        cluster, driver, nranks,
+        [](int rank, int nprocs, std::vector<std::byte>& storage) {
+          storage.resize(96 << 10);
+          std::vector<util::Extent> extents;
+          // Interleaved 8 KiB chunks: heavy cross-node exchange.
+          for (int c = 0; c < 12; ++c) {
+            extents.push_back(
+                {static_cast<std::uint64_t>((c * nprocs + rank)) * (8 << 10),
+                 8 << 10});
+          }
+          return io::make_plan(extents, util::Payload::of(storage));
+        },
+        /*seed=*/1234, io::Hints{}, &stats);
+    return std::make_tuple(stats.msgs_intra_node(), stats.msgs_inter_node(),
+                           stats.bytes_inter_node());
+  };
+  const auto base = run_once(1);
+  EXPECT_EQ(run_once(2), base);
+  EXPECT_EQ(run_once(8), base);
+}
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define MCIO_TEST_UNDER_SANITIZER 1
+#endif
+#endif
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define MCIO_TEST_UNDER_SANITIZER 1
+#endif
+
+#if !defined(MCIO_TEST_UNDER_SANITIZER)
+
+/// Touches stack pages downward past the fiber's usable bytes.
+void overflow_stack(volatile char* p, int depth) {
+  volatile char frame[4096];
+  frame[0] = static_cast<char>(depth);
+  if (depth > 0) overflow_stack(frame, depth - 1);
+  *p = frame[0];
+}
+
+TEST(FiberGuardPageDeathTest, OverflowHitsGuardNotHeap) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        Engine::Options opt;
+        opt.stack_bytes = 16 * 1024;  // the minimum FiberStack allows
+        Engine engine(opt);
+        engine.spawn([](Actor&) {
+          volatile char c = 0;
+          overflow_stack(&c, 64);  // 64 * 4 KiB frames >> 16 KiB stack
+        });
+        engine.run();
+      },
+      "");
+}
+
+#endif  // sanitizers
+
+}  // namespace
+}  // namespace mcio::sim

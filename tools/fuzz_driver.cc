@@ -21,10 +21,24 @@
 // `--fault-rate=R` overrides each scenario's sampled fault schedule with
 // denial=R, delay=R/2, revoke=R/2, exhaust=R/10 (the sweep the CI fuzz
 // job runs at R in {0, 0.05, 0.2}).
+//
+// Host-parallelism / determinism knobs (none changes a verdict):
+//   --threads=N       run the pre-generated cases on N host threads (the
+//                     oracle is reentrant; failures are minimized
+//                     sequentially afterwards, in case order).
+//   --sim-shards=N    run every simulation on an N-shard engine.
+//   --shards-matrix   run every case at sim-shards 1, 2 and 8 and fail it
+//                     if any file/read hash or verdict differs — the
+//                     determinism soak of DESIGN.md §12.
+#include <atomic>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <iostream>
+#include <optional>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "fuzz/minimizer.h"
@@ -39,8 +53,70 @@ namespace {
 using mcio::fuzz::DiffResult;
 using mcio::fuzz::MinimizeOptions;
 using mcio::fuzz::MinimizeResult;
+using mcio::fuzz::OracleOptions;
 using mcio::fuzz::Scenario;
 using mcio::fuzz::ScenarioGen;
+
+/// Runs fn(0..n-1) on up to `threads` host threads; threads <= 1 is a
+/// plain sequential loop. Exceptions abort (a fuzz-harness bug, not a
+/// verdict).
+void for_each_case(int threads, std::uint64_t n,
+                   const std::function<void(std::uint64_t)>& fn) {
+  if (threads <= 1 || n <= 1) {
+    for (std::uint64_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::atomic<std::uint64_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::uint64_t i = next.fetch_add(1);
+      if (i >= n) return;
+      fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  const std::uint64_t width =
+      std::min<std::uint64_t>(static_cast<std::uint64_t>(threads), n);
+  for (std::uint64_t t = 0; t < width; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+}
+
+/// One case of the shards-matrix soak: the differential verdict and both
+/// oracle hashes must be identical at every shard count. Returns an
+/// empty string when deterministic, else a description of the first
+/// divergence.
+std::string check_shards_matrix(const Scenario& s, const DiffResult& at1) {
+  for (const int shards : {2, 8}) {
+    OracleOptions opt;
+    opt.sim_shards = shards;
+    const DiffResult r = mcio::fuzz::run_differential(s, opt);
+    for (int d = 0; d < 3; ++d) {
+      const auto& a = at1.runs[d];
+      const auto& b = r.runs[d];
+      if (a.completed != b.completed || a.file_hash != b.file_hash ||
+          a.read_hash != b.read_hash || a.pattern_ok != b.pattern_ok ||
+          a.findings.size() != b.findings.size() ||
+          !(a.counters == b.counters)) {
+        std::ostringstream os;
+        os << "sim-shards=" << shards << " diverges from sim-shards=1 on "
+           << mcio::fuzz::driver_kind_name(
+                  static_cast<mcio::fuzz::DriverKind>(d))
+           << ": completed " << a.completed << "/" << b.completed
+           << " file " << std::hex << a.file_hash << "/" << b.file_hash
+           << " read " << a.read_hash << "/" << b.read_hash << std::dec
+           << " pattern " << a.pattern_ok << "/" << b.pattern_ok
+           << " findings " << a.findings.size() << "/"
+           << b.findings.size();
+        return os.str();
+      }
+    }
+    if (r.classify() != at1.classify()) {
+      return "sim-shards=" + std::to_string(shards) +
+             " verdict diverges: " + r.classify() + " vs " + at1.classify();
+    }
+  }
+  return "";
+}
 
 void apply_fault_rate(Scenario& s, double rate) {
   s.fault_denial = rate;
@@ -96,24 +172,61 @@ int main(int argc, char** argv) {
       static_cast<std::uint64_t>(cli.get_int("max-failures", 5));
   const int shrink_evals =
       static_cast<int>(cli.get_int("shrink-evals", 250));
+  // Self-test mode keeps the classic sequential loop (it stops at the
+  // first caught bug); the other modes honor --threads.
+  const int threads = expect_failure
+                          ? 1
+                          : static_cast<int>(cli.get_int("threads", 1));
+  OracleOptions oracle_opt;
+  oracle_opt.sim_shards = static_cast<int>(cli.get_int("sim-shards", 1));
+  const bool shards_matrix = cli.get_bool("shards-matrix", false);
   cli.check_unused();
 
   if (!replay_path.empty()) return replay(replay_path);
 
+  // Scenarios are pre-generated sequentially (the generator owns the
+  // case ordering); the oracle runs are what parallelize.
   const ScenarioGen gen(seed);
-  const auto still_fails = [](const Scenario& s) {
-    return !mcio::fuzz::run_differential(s).ok();
-  };
-
-  std::uint64_t failures = 0;
-  std::uint64_t ran = 0;
-  bool self_test_ok = false;
+  std::vector<Scenario> scenarios;
+  scenarios.reserve(cases);
   for (std::uint64_t i = 0; i < cases; ++i) {
     Scenario s = gen.generate(i);
     if (has_fault_rate) apply_fault_rate(s, fault_rate);
-    ++ran;
-    const DiffResult result = mcio::fuzz::run_differential(s);
-    if (result.ok()) continue;
+    scenarios.push_back(std::move(s));
+  }
+
+  const auto still_fails = [&](const Scenario& s) {
+    return !mcio::fuzz::run_differential(s, oracle_opt).ok();
+  };
+
+  // Phase 1: verdicts, possibly case-parallel. A case fails when its
+  // differential verdict is bad or (under --shards-matrix) any shard
+  // count disagrees with shards=1.
+  std::vector<std::optional<DiffResult>> failed(scenarios.size());
+  std::vector<std::string> divergence(scenarios.size());
+  std::atomic<std::uint64_t> matrix_failures{0};
+  for_each_case(threads, scenarios.size(), [&](std::uint64_t i) {
+    const DiffResult result =
+        mcio::fuzz::run_differential(scenarios[i], oracle_opt);
+    if (shards_matrix) {
+      divergence[i] = check_shards_matrix(scenarios[i], result);
+      if (!divergence[i].empty()) ++matrix_failures;
+    }
+    if (!result.ok()) failed[i] = result;
+  });
+
+  // Phase 2: report + minimize sequentially, in case order, so output
+  // and repro files are identical for every --threads value.
+  std::uint64_t failures = 0;
+  bool self_test_ok = false;
+  for (std::uint64_t i = 0; i < scenarios.size(); ++i) {
+    if (!divergence[i].empty()) {
+      std::cout << "case " << i << ": NONDETERMINISTIC — " << divergence[i]
+                << "\n";
+    }
+    if (!failed[i]) continue;
+    if (failures >= max_failures) break;
+    const DiffResult& result = *failed[i];
 
     ++failures;
     std::cout << "case " << i << ": " << result.classify() << "\n"
@@ -122,8 +235,9 @@ int main(int argc, char** argv) {
     MinimizeOptions opts;
     opts.max_evals = shrink_evals;
     const MinimizeResult min =
-        mcio::fuzz::minimize(s, still_fails, opts);
-    const DiffResult min_result = mcio::fuzz::run_differential(min.scenario);
+        mcio::fuzz::minimize(scenarios[i], still_fails, opts);
+    const DiffResult min_result =
+        mcio::fuzz::run_differential(min.scenario, oracle_opt);
     const std::string path =
         write_repro(out_dir, min.scenario, min_result.classify());
     std::cout << "  minimized to " << min.scenario.nranks << " ranks / "
@@ -135,7 +249,7 @@ int main(int argc, char** argv) {
       // The self-test contract: small repro, reproducible from the file
       // alone (not from any in-process state).
       const DiffResult from_disk =
-          mcio::fuzz::run_differential(load_scenario(path));
+          mcio::fuzz::run_differential(load_scenario(path), oracle_opt);
       const bool small = min.scenario.nranks <= 4;
       const bool replays = !from_disk.ok();
       if (!small) {
@@ -150,12 +264,14 @@ int main(int argc, char** argv) {
     }
     if (failures >= max_failures) {
       std::cout << "stopping after " << failures << " failures\n";
-      break;
     }
   }
 
-  std::cout << "fuzz: seed=" << seed << " cases=" << ran
+  std::cout << "fuzz: seed=" << seed << " cases=" << scenarios.size()
             << " failures=" << failures;
+  if (shards_matrix) {
+    std::cout << " nondeterministic=" << matrix_failures.load();
+  }
   if (has_fault_rate) std::cout << " fault-rate=" << fault_rate;
   std::cout << "\n";
 
@@ -167,5 +283,5 @@ int main(int argc, char** argv) {
     }
     return self_test_ok ? 0 : 1;
   }
-  return failures == 0 ? 0 : 1;
+  return failures == 0 && matrix_failures.load() == 0 ? 0 : 1;
 }

@@ -24,6 +24,12 @@ Rules, scoped to src/ and tests/ (see DESIGN.md §8 for the rationale):
                       (on_wait_begin/on_wait_end) so a deadlock report can
                       name the missing message. New engine touch points
                       follow the same observer-hook pattern.
+  mutable-static      a mutable function/file-scope `static` in src/sim or
+                      src/io is shared across the sharded engine's worker
+                      threads and the bench/fuzz pools without any lock
+                      (DESIGN.md §12); make it const/constexpr,
+                      thread_local, atomic, or guard it explicitly and
+                      annotate `// lint:allow mutable-static`.
 """
 
 from __future__ import annotations
@@ -55,6 +61,18 @@ RE_INT_FROM_SIZE = re.compile(
 RE_SIZE_CAST = re.compile(r"static_cast<[^>]+>\s*\([^;]*\.size\(\)")
 RE_PARK = re.compile(r"(?<![\w_.])(?:\w+\.)?park\s*\(\s*\)")
 RE_WAIT_HOOK = re.compile(r"on_wait_begin\s*\(")
+# A mutable `static` declaration: `static <type> name ...` that is not
+# const/constexpr/thread_local/atomic/mutex-typed, not a static member
+# *function* declaration (those have a parameter list before any `=` or
+# `;`), and not `static_assert`/`static_cast`.
+RE_STATIC_DECL = re.compile(r"(?<![\w_])static\s+(?!_assert|_cast)")
+RE_STATIC_SAFE = re.compile(
+    r"(?<![\w_])static\s+(?:const\b|constexpr\b|thread_local\b|"
+    r"(?:std\s*::\s*)?(?:atomic|mutex|once_flag)\b)")
+# `static <ret> name(...)` — a function (definition or declaration): an
+# identifier followed by an argument list, ending in `{`, `;` or a
+# continuation (multi-line signatures), with no `=` before the paren.
+RE_STATIC_FUNC = re.compile(r"(?<![\w_])static\s+[\w:<>,&*\s]+?\b\w+\s*\(")
 
 # How far above a park() the wait hook must appear (lines).
 PARK_HOOK_WINDOW = 20
@@ -74,7 +92,9 @@ def lint_file(path: Path) -> list[tuple[Path, int, str, str]]:
     findings = []
     raw_lines = path.read_text(encoding="utf-8").splitlines()
     lines = [strip_comments_and_strings(l) for l in raw_lines]
-    in_sim = "src/sim/" in path.as_posix()
+    posix = path.as_posix()
+    in_sim = "src/sim/" in posix
+    shared_hot_path = in_sim or "src/io/" in posix
 
     def allow(i: int, rule: str) -> bool:
         return LINT_OFF in raw_lines[i] and rule in raw_lines[i]
@@ -107,6 +127,16 @@ def lint_file(path: Path) -> list[tuple[Path, int, str, str]]:
                 (path, n, "untagged-narrowing",
                  "tag the size_t -> int narrowing with "
                  "static_cast<int>(...)"))
+        if (shared_hot_path and RE_STATIC_DECL.search(line)
+                and not RE_STATIC_SAFE.search(line)
+                and not RE_STATIC_FUNC.search(line)
+                and not allow(i, "mutable-static")):
+            findings.append(
+                (path, n, "mutable-static",
+                 "mutable static in src/sim|src/io — shared across "
+                 "engine worker threads and bench/fuzz pools; make it "
+                 "const/constexpr/thread_local/atomic or lock it and "
+                 "annotate lint:allow mutable-static (DESIGN.md §12)"))
         if not in_sim and RE_PARK.search(line):
             window = lines[max(0, i - PARK_HOOK_WINDOW):i]
             if (not any(RE_WAIT_HOOK.search(w) for w in window)
