@@ -14,7 +14,6 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -34,6 +33,8 @@
 #include "util/check.h"
 #include "util/cli.h"
 #include "util/memtrack.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "verify/auditor.h"
 #include "util/json.h"
 #include "util/table.h"
@@ -70,6 +71,26 @@ inline std::uint64_t run_peak_rss_bytes() {
   return static_cast<std::uint64_t>(ru.ru_maxrss) * 1024;
 }
 
+/// First-exception slot shared by a worker pool: workers capture under
+/// the capability, the pool owner takes after the join. Guarded so the
+/// clang thread-safety analysis (DESIGN.md §13) checks the discipline.
+struct FirstError {
+  util::Mutex mu;
+  std::exception_ptr error MCIO_GUARDED_BY(mu);
+
+  /// Records the current exception if it is the first one.
+  void capture() MCIO_EXCLUDES(mu) {
+    const util::MutexLock lock(mu);
+    if (!error) error = std::current_exception();
+  }
+
+  /// Returns the first captured exception (call after joining workers).
+  std::exception_ptr take() MCIO_EXCLUDES(mu) {
+    const util::MutexLock lock(mu);
+    return error;
+  }
+};
+
 /// Runs tasks 0..n-1 on up to `threads` host threads. threads <= 1 is a
 /// plain sequential loop (the exact classic code path). Tasks must be
 /// independent: each bench point builds its own simulation stack, so
@@ -84,8 +105,7 @@ inline void parallel_for(int threads, int n,
     return;
   }
   std::atomic<int> next{0};
-  std::exception_ptr first_error;
-  std::mutex error_mu;
+  FirstError first_error;
   auto worker = [&] {
     for (;;) {
       const int i = next.fetch_add(1);
@@ -93,8 +113,7 @@ inline void parallel_for(int threads, int n,
       try {
         fn(i);
       } catch (...) {
-        const std::lock_guard<std::mutex> lock(error_mu);
-        if (!first_error) first_error = std::current_exception();
+        first_error.capture();
       }
     }
   };
@@ -103,7 +122,7 @@ inline void parallel_for(int threads, int n,
   pool.reserve(static_cast<std::size_t>(width));
   for (int t = 0; t < width; ++t) pool.emplace_back(worker);
   for (std::thread& t : pool) t.join();
-  if (first_error) std::rethrow_exception(first_error);
+  if (std::exception_ptr e = first_error.take()) std::rethrow_exception(e);
 }
 
 /// Host-side meters of one bench task: wall clock and the peak of

@@ -17,11 +17,13 @@ void Actor::advance(SimTime dt) {
 void Actor::advance_to(SimTime t) { clock_ = std::max(clock_, t); }
 
 void Actor::sync() {
+  engine_->assert_sequenced();
   engine_->make_ready(id_);
   engine_->yield_from(id_);
 }
 
 void Actor::park() {
+  engine_->assert_sequenced();
   auto& slot = engine_->actors_[static_cast<std::size_t>(id_)];
   if (slot.wake_token) {
     // An unpark raced ahead of this park (cross-shard wakeups, or a
@@ -51,6 +53,9 @@ Engine::~Engine() = default;
 
 int Engine::spawn(std::function<void(Actor&)> body, int shard_hint) {
   MCIO_CHECK_MSG(!running_, "spawn() after run() started");
+  // Pre-run, so uncontended by construction; the acquisition keeps the
+  // capability analysis on actors_ exact.
+  const util::MutexLock lk(mu_);
   const int id = static_cast<int>(actors_.size());
   ActorSlot slot;
   slot.actor = std::unique_ptr<Actor>(new Actor(this, id));
@@ -65,12 +70,14 @@ int Engine::shard_of(int actor_id) const {
 }
 
 bool Engine::cross_shard(int actor_id) const {
+  assert_sequenced();  // only meaningful from inside a slice
   if (nshards_ == 1 || cur_slice_actor_ < 0) return false;
   return shard_of_[static_cast<std::size_t>(actor_id)] !=
          shard_of_[static_cast<std::size_t>(cur_slice_actor_)];
 }
 
 void Engine::post_remote(int target_actor, std::function<void()> apply) {
+  assert_sequenced();  // only legal from inside a slice
   MCIO_CHECK_MSG(cross_shard(target_actor),
                  "post_remote to same-shard actor " << target_actor);
   const int src = shard_of_[static_cast<std::size_t>(cur_slice_actor_)];
@@ -121,12 +128,17 @@ void Engine::body_wrapper(int id, const std::function<void(Actor&)>& body) {
 void Engine::run() {
   MCIO_CHECK_MSG(!running_, "run() is not reentrant");
   running_ = true;
-  finish_times_.assign(actors_.size(), 0.0);
-  nshards_ = std::clamp(options_.threads, 1,
-                        std::max<int>(1, static_cast<int>(actors_.size())));
-  shard_of_.resize(actors_.size());
-  for (std::size_t i = 0; i < actors_.size(); ++i) {
-    shard_of_[i] = shard_hints_[i] % nshards_;
+  {
+    // Pre-worker setup: no worker threads exist yet, so the acquisition
+    // is uncontended; it keeps the analysis on actors_ exact.
+    const util::MutexLock lk(mu_);
+    finish_times_.assign(actors_.size(), 0.0);
+    nshards_ = std::clamp(options_.threads, 1,
+                          std::max<int>(1, static_cast<int>(actors_.size())));
+    shard_of_.resize(actors_.size());
+    for (std::size_t i = 0; i < actors_.size(); ++i) {
+      shard_of_[i] = shard_hints_[i] % nshards_;
+    }
   }
   if (nshards_ == 1) {
     run_single();
@@ -147,12 +159,22 @@ void Engine::run_slice(int id, FiberContext* scheduler_ctx) {
 }
 
 void Engine::run_single() {
+  // Single-threaded mode still runs under the scheduler lock — taken
+  // once here for the whole run, uncontended by construction (there are
+  // no workers), so the cost is one lock/unlock per run() and the
+  // capability analysis covers this path exactly like the sharded one.
+  const util::MutexLock lk(mu_);
   for (std::size_t i = 0; i < actors_.size(); ++i) {
     const int id = static_cast<int>(i);
     auto body = std::move(pending_bodies_[i]);
     actors_[i].fiber = std::make_unique<Fiber>(
         options_.stack_bytes,
-        [this, id, body = std::move(body)] { body_wrapper(id, body); },
+        [this, id, body = std::move(body)] {
+          // Fiber bodies run inside a slice: the resuming thread holds
+          // mu_ across resume_from/yield_to (see run_slice).
+          assert_sequenced();
+          body_wrapper(id, body);
+        },
         &main_ctx_);
     ready_.push({0.0, id});
   }
@@ -169,22 +191,33 @@ void Engine::run_single() {
 }
 
 void Engine::run_sharded() {
-  worker_ctx_.assign(static_cast<std::size_t>(nshards_), FiberContext{});
-  mailboxes_.assign(static_cast<std::size_t>(nshards_ * nshards_), {});
-  remote_seq_ = 0;
-  pending_remote_ = 0;
-  stop_ = false;
-  for (std::size_t i = 0; i < actors_.size(); ++i) {
-    const int id = static_cast<int>(i);
-    auto body = std::move(pending_bodies_[i]);
-    actors_[i].fiber = std::make_unique<Fiber>(
-        options_.stack_bytes,
-        [this, id, body = std::move(body)] { body_wrapper(id, body); },
-        &worker_ctx_[static_cast<std::size_t>(shard_of_[i])]);
-    ready_.push({0.0, id});
+  int num_actors_started = 0;
+  {
+    // Pre-worker setup (uncontended: workers are spawned below).
+    const util::MutexLock lk(mu_);
+    num_actors_started = static_cast<int>(actors_.size());
+    worker_ctx_.assign(static_cast<std::size_t>(nshards_), FiberContext{});
+    mailboxes_.assign(static_cast<std::size_t>(nshards_ * nshards_), {});
+    remote_seq_ = 0;
+    pending_remote_ = 0;
+    stop_ = false;
+    for (std::size_t i = 0; i < actors_.size(); ++i) {
+      const int id = static_cast<int>(i);
+      auto body = std::move(pending_bodies_[i]);
+      actors_[i].fiber = std::make_unique<Fiber>(
+          options_.stack_bytes,
+          [this, id, body = std::move(body)] {
+            // Fiber bodies run inside a slice: the resuming worker holds
+            // mu_ across resume_from/yield_to (see worker_loop).
+            assert_sequenced();
+            body_wrapper(id, body);
+          },
+          &worker_ctx_[static_cast<std::size_t>(shard_of_[i])]);
+      ready_.push({0.0, id});
+    }
+    pending_bodies_.clear();
   }
-  pending_bodies_.clear();
-  observer_->on_engine_start(static_cast<int>(actors_.size()));
+  observer_->on_engine_start(num_actors_started);
 
   std::vector<std::thread> workers;
   workers.reserve(static_cast<std::size_t>(nshards_));
@@ -193,6 +226,7 @@ void Engine::run_sharded() {
   }
   for (std::thread& w : workers) w.join();
   worker_ctx_.clear();
+  const util::MutexLock lk(mu_);  // post-join: workers are gone
   if (error_) std::rethrow_exception(error_);
   check_no_deadlock();
 }
@@ -203,7 +237,7 @@ void Engine::worker_loop(int shard) {
   // inside a slice runs on this thread, under this acquisition). The
   // pop order is therefore exactly the single-threaded heap order; the
   // threads only decide *where* each slice's fiber stack lives.
-  std::unique_lock<std::mutex> lk(mu_);
+  util::MutexLock lk(mu_);
   while (!stop_) {
     if (ready_.empty()) {
       // Nothing runnable and no slice in flight (we hold the lock):
@@ -247,6 +281,8 @@ void Engine::check_no_deadlock() {
 }
 
 void Engine::unpark(int actor_id, SimTime not_before) {
+  // Callable from inside a slice or before run() — both sequenced paths.
+  assert_sequenced();
   auto& slot = actors_.at(static_cast<std::size_t>(actor_id));
   MCIO_CHECK_MSG(slot.state != State::kDone,
                  "unpark of finished actor " << actor_id);
@@ -261,6 +297,7 @@ void Engine::unpark(int actor_id, SimTime not_before) {
 }
 
 bool Engine::is_parked(int actor_id) const {
+  assert_sequenced();  // queried from inside a slice (or before run())
   return actors_.at(static_cast<std::size_t>(actor_id)).state ==
          State::kParked;
 }

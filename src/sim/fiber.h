@@ -3,7 +3,10 @@
 // The simulator runs every MPI rank as a fiber, switching between them in
 // virtual-time order. A fiber is pinned to one OS thread for its entire
 // life (the engine's shard workers each resume only their own shard), so
-// switches never migrate a live stack between threads.
+// switches never migrate a live stack between threads. That pinning is
+// also why this file carries no thread-safety annotations (DESIGN.md
+// §13): a Fiber holds no cross-thread state — everything shared lives in
+// the Engine, under its annotated scheduler mutex.
 //
 // On x86-64 the switch is a handful of register moves in assembly
 // (fiber_switch_x86_64.S); ucontext's swapcontext() costs an

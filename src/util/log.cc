@@ -2,11 +2,27 @@
 
 #include <atomic>
 #include <cstdio>
+#include <utility>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace mcio::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+/// The installed sink (empty = stderr), guarded so a set_log_sink() on
+/// the main thread is safe against bench pool workers logging.
+struct SinkState {
+  Mutex mu;
+  LogSink sink MCIO_GUARDED_BY(mu);
+};
+
+SinkState& sink_state() {
+  static SinkState state;
+  return state;
+}
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -27,8 +43,20 @@ void set_log_level(LogLevel level) { g_level.store(level); }
 
 LogLevel log_level() { return g_level.load(); }
 
+void set_log_sink(LogSink sink) {
+  SinkState& s = sink_state();
+  const MutexLock lock(s.mu);
+  s.sink = std::move(sink);
+}
+
 void log_message(LogLevel level, const std::string& msg) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  SinkState& s = sink_state();
+  const MutexLock lock(s.mu);
+  if (s.sink) {
+    s.sink(level, msg);
+    return;
+  }
   std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
 }
 

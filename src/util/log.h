@@ -5,6 +5,7 @@
 // stay machine-readable.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -16,6 +17,16 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 /// tests and benches are quiet unless a caller opts in.
 void set_log_level(LogLevel level);
 LogLevel log_level();
+
+/// Receives every message that passes the threshold.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Redirects log output to `sink` (tests capture lines this way);
+/// nullptr restores the default stderr writer. The sink swap and every
+/// delivery are serialized under one lock, so installing a sink from the
+/// main thread while bench pool workers log is safe — and lines never
+/// interleave mid-message.
+void set_log_sink(LogSink sink);
 
 void log_message(LogLevel level, const std::string& msg);
 

@@ -1,7 +1,6 @@
 #include "verify/auditor.h"
 
 #include <algorithm>
-#include <mutex>
 #include <sstream>
 #include <utility>
 
@@ -265,12 +264,21 @@ void Auditor::on_orphan_recv(int dst_world, std::uint64_t comm_id, int src,
   add_finding("orphan-recv", os.str());
 }
 
+int Auditor::mgr_id(const void* mgr) {
+  for (std::size_t i = 0; i < mgr_slots_.size(); ++i) {
+    if (mgr_slots_[i] == mgr) return static_cast<int>(i);
+  }
+  mgr_slots_.push_back(mgr);
+  return static_cast<int>(mgr_slots_.size() - 1);
+}
+
 void Auditor::on_lease_grant(const void* mgr, int node,
                              std::uint64_t bytes) {
   ++counters_.lease_grants;
-  ledger_[{mgr, node}] += static_cast<std::int64_t>(bytes);
+  const int id = mgr_id(mgr);
+  ledger_[{id, node}] += static_cast<std::int64_t>(bytes);
   if (Epoch* ep = innermost_epoch(cur_actor_)) {
-    auto& [balance, grants] = ep->leases[{mgr, node}];
+    auto& [balance, grants] = ep->leases[{id, node}];
     balance += static_cast<std::int64_t>(bytes);
     ++grants;
   }
@@ -279,18 +287,26 @@ void Auditor::on_lease_grant(const void* mgr, int node,
 void Auditor::on_lease_release(const void* mgr, int node,
                                std::uint64_t bytes) {
   ++counters_.lease_releases;
-  ledger_[{mgr, node}] -= static_cast<std::int64_t>(bytes);
+  const int id = mgr_id(mgr);
+  ledger_[{id, node}] -= static_cast<std::int64_t>(bytes);
   if (Epoch* ep = innermost_epoch(cur_actor_)) {
-    ep->leases[{mgr, node}].first -= static_cast<std::int64_t>(bytes);
+    ep->leases[{id, node}].first -= static_cast<std::int64_t>(bytes);
   }
 }
 
 void Auditor::on_manager_destroyed(const void* mgr) {
-  for (auto it = ledger_.begin(); it != ledger_.end();) {
-    if (it->first.first == mgr) {
-      it = ledger_.erase(it);
-    } else {
-      ++it;
+  for (std::size_t i = 0; i < mgr_slots_.size(); ++i) {
+    if (mgr_slots_[i] != mgr) continue;
+    const int id = static_cast<int>(i);
+    // Clear the slot (a reused address gets a fresh id) and drop the
+    // manager's ledger balances.
+    mgr_slots_[i] = nullptr;
+    for (auto it = ledger_.begin(); it != ledger_.end();) {
+      if (it->first.first == id) {
+        it = ledger_.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
 }
@@ -518,8 +534,7 @@ void Auditor::on_run_aborted() {
 void Auditor::absorb_counters(const AuditCounters& other) {
   // Serializes concurrent absorbs from parallel bench/fuzz tasks; the
   // auditor's own event path stays single-threaded per attached run.
-  static std::mutex mu;
-  const std::lock_guard<std::mutex> lock(mu);
+  const util::MutexLock lock(absorb_mu_);
   counters_.runs += other.runs;
   counters_.slices += other.slices;
   counters_.messages += other.messages;

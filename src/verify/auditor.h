@@ -33,6 +33,8 @@
 #include <vector>
 
 #include "util/extent.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "verify/observer.h"
 
 namespace mcio::verify {
@@ -93,7 +95,8 @@ class Auditor final : public Observer {
   /// fold its totals into the global instance when they finish — the
   /// sums are commutative, so the global totals are independent of task
   /// completion order (and of --threads entirely).
-  void absorb_counters(const AuditCounters& other);
+  void absorb_counters(const AuditCounters& other)
+      MCIO_EXCLUDES(absorb_mu_);
 
   /// Multi-line "kind: message" listing of the current findings.
   std::string report() const;
@@ -148,9 +151,11 @@ class Auditor final : public Observer {
     std::vector<util::Extent> planned;  ///< all ranks' plan extents
     std::vector<util::Extent> written;  ///< PFS writes observed
     std::vector<util::Extent> preread;  ///< PFS reads (write RMW / read)
-    /// Outstanding lease bytes and grant count per (manager, node).
-    std::map<std::pair<const void*, int>,
-             std::pair<std::int64_t, std::uint64_t>>
+    /// Outstanding lease bytes and grant count per (manager id, node).
+    /// Keyed by the dense manager id of mgr_id(), never by the manager
+    /// pointer itself: this map is *iterated* when the epoch closes, and
+    /// pointer keys would make the finding order ASLR-dependent.
+    std::map<std::pair<int, int>, std::pair<std::int64_t, std::uint64_t>>
         leases;
   };
 
@@ -177,6 +182,12 @@ class Auditor final : public Observer {
   };
 
   void add_finding(std::string kind, std::string message);
+  /// Dense id of a MemoryManager, assigned in first-observation order —
+  /// the deterministic stand-in for the manager's address everywhere a
+  /// key can reach an iteration (lease maps, finding messages). A
+  /// destroyed manager's slot is cleared, so an allocator reusing its
+  /// address yields a fresh id.
+  int mgr_id(const void* mgr);
   /// The innermost open collective `actor` is inside matching (fs, file),
   /// or null.
   Epoch* epoch_for(int actor, const void* fs, int file) const;
@@ -197,8 +208,17 @@ class Auditor final : public Observer {
   std::vector<WaitInfo> waits_;
 
   // Lease ledger across all managers (for deadlock resource reports);
-  // epoch-scoped balances live in Epoch::leases.
-  std::map<std::pair<const void*, int>, std::int64_t> ledger_;
+  // epoch-scoped balances live in Epoch::leases. Keyed (manager id,
+  // node) — see mgr_id().
+  std::map<std::pair<int, int>, std::int64_t> ledger_;
+  /// mgr_id() slots: index = id, value = live manager pointer (null
+  /// after on_manager_destroyed). Linear scan — a handful of managers
+  /// exist per simulation.
+  std::vector<const void*> mgr_slots_;
+
+  /// Serializes concurrent absorb_counters() calls from parallel
+  /// bench/fuzz tasks; the event path stays single-threaded per run.
+  util::Mutex absorb_mu_;
 
   // Collective epochs.
   std::map<EpochKey, KeyState> keys_;

@@ -1,0 +1,26 @@
+// mcio-analyze-fixture: path=src/io/clean_good.cc
+// expect: clean
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace mcio::io {
+
+static constexpr std::uint64_t kWindowBytes = 1 << 20;  // safe static
+
+class Window {
+ public:
+  void add(int rank, std::uint64_t bytes) {
+    const util::MutexLock lk(mu_);
+    by_rank_[rank] += bytes;
+  }
+
+ private:
+  util::Mutex mu_;
+  std::map<int, std::uint64_t> by_rank_ MCIO_GUARDED_BY(mu_);
+};
+
+}  // namespace mcio::io

@@ -1,0 +1,12 @@
+// mcio-analyze-fixture: path=src/sim/lock_order_a.cc group=lockorder
+// expect: clean
+#include "util/mutex.h"
+
+namespace mcio::sim {
+
+void Engine2::lock_ab() {
+  const util::MutexLock a(alloc_mu_);
+  const util::MutexLock b(spill_mu_);
+}
+
+}  // namespace mcio::sim

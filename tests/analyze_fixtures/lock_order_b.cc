@@ -1,0 +1,12 @@
+// mcio-analyze-fixture: path=src/sim/lock_order_b.cc group=lockorder
+// expect: lock-order-cycle@9
+#include "util/mutex.h"
+
+namespace mcio::sim {
+
+void Engine2::lock_ba() {
+  const util::MutexLock b(spill_mu_);
+  const util::MutexLock a(alloc_mu_);
+}
+
+}  // namespace mcio::sim

@@ -1,0 +1,16 @@
+// mcio-analyze-fixture: path=src/sim/mutable_static_bad.cc
+// expect: mutable-static@8 mutable-static@12
+#include <atomic>
+#include <cstdint>
+
+namespace mcio::sim {
+
+static std::uint64_t g_events = 0;
+static constexpr int kLimit = 8;    // safe: constexpr
+static std::atomic<int> g_live{0};  // safe: atomic
+int next_id() {
+  static int counter = 0;
+  return ++counter;
+}
+
+}  // namespace mcio::sim

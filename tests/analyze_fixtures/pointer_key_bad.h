@@ -1,0 +1,13 @@
+// mcio-analyze-fixture: path=src/verify/pointer_key_bad.h
+// expect: pointer-key-order@9 pointer-key-order@12
+#pragma once
+#include <cstdint>
+#include <map>
+#include <utility>
+
+struct Ledger {
+  std::map<const void*, std::int64_t> by_manager;
+  // The pair's first element hides the pointer one level down, like the
+  // auditor's old lease ledger did.
+  std::map<std::pair<const void*, int>, std::int64_t> by_manager_node;
+};

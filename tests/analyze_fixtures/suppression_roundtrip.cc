@@ -1,0 +1,13 @@
+// mcio-analyze-fixture: path=src/sim/suppression_roundtrip.cc
+// expect: bad-suppression@11
+// expect-suppressed: wall-clock@8
+#include <chrono>
+
+namespace mcio::sim {
+// mcio-analyze: allow(wall-clock) -- fixture: justified suppression round-trip
+double stub_now() { return std::chrono::steady_clock::now().time_since_epoch().count(); }
+
+// A suppression missing its `-- justification` is itself reported:
+// mcio-analyze: allow(raw-random)
+
+}  // namespace mcio::sim

@@ -1,0 +1,10 @@
+// mcio-analyze-fixture: path=src/mpi/unobserved_park_bad.cc
+// expect: unobserved-park@8
+#include "sim/engine.h"
+
+namespace mcio::mpi {
+
+// A blocking wait the verification observer never hears about.
+void silent_wait(mcio::sim::Actor& a) { a.park(); }
+
+}  // namespace mcio::mpi

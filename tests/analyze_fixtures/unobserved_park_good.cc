@@ -1,0 +1,10 @@
+// mcio-analyze-fixture: path=src/mpi/unobserved_park_good.cc
+// expect: clean
+namespace mcio::mpi {
+
+void observed_wait(Rank& rank, Envelope& env) {
+  rank.observer()->on_wait_begin(rank.id(), env.comm, env.src, env.tag);
+  rank.actor().park();
+}
+
+}  // namespace mcio::mpi

@@ -1,0 +1,17 @@
+// mcio-analyze-fixture: path=src/io/unordered_iter_bad.cc
+// expect: unordered-iter@11
+#include <cstdint>
+#include <sstream>
+#include <unordered_map>
+
+namespace mcio::io {
+
+std::string dump(const std::unordered_map<int, std::uint64_t>& sizes) {
+  std::ostringstream os;
+  for (const auto& [rank, bytes] : sizes) {
+    os << rank << ':' << bytes << ' ';
+  }
+  return os.str();
+}
+
+}  // namespace mcio::io

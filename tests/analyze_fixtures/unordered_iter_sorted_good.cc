@@ -1,0 +1,22 @@
+// mcio-analyze-fixture: path=src/pfs/unordered_iter_sorted_good.cc
+// expect: clean
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace mcio::pfs {
+
+std::uint64_t checksum(const std::unordered_map<std::uint64_t, int>& m) {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(m.size());
+  for (const auto& [k, v] : m) {
+    keys.push_back(k);
+  }
+  std::sort(keys.begin(), keys.end());
+  std::uint64_t h = 0;
+  for (const std::uint64_t k : keys) h = h * 31 + k;
+  return h;
+}
+
+}  // namespace mcio::pfs

@@ -1,0 +1,14 @@
+// mcio-analyze-fixture: path=src/sim/wall_clock_bad.cc
+// expect: wall-clock@8 wall-clock@12
+#include <chrono>
+
+namespace mcio::sim {
+
+double host_now() {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now()
+                                           .time_since_epoch())
+      .count();
+}
+double stamp() { return std::chrono::system_clock::now().time_since_epoch().count(); }
+
+}  // namespace mcio::sim

@@ -33,7 +33,7 @@ std::vector<SimTime> run_workload(int threads,
             a.sync();
           }
           if (i == 0) {
-            a.park();  // lint:allow unobserved-park (scheduler's own test)
+            a.park();  // mcio-analyze: allow(unobserved-park) -- scheduler's own test
           } else if (i == 1) {
             a.advance(1.0);
             a.sync();
@@ -129,12 +129,12 @@ void run_token_workload(int threads) {
     a.sync();
     // The unpark below already happened (at virtual time 0): park must
     // consume its token and return without blocking.
-    a.park();  // lint:allow unobserved-park (scheduler's own test)
+    a.park();  // mcio-analyze: allow(unobserved-park) -- scheduler's own test
     woke = true;
     EXPECT_DOUBLE_EQ(a.now(), 1.0);  // token time 0.5 never rewinds
     // A second park has no token: it must genuinely block for the
     // late unparker.
-    a.park();  // lint:allow unobserved-park (scheduler's own test)
+    a.park();  // mcio-analyze: allow(unobserved-park) -- scheduler's own test
     EXPECT_DOUBLE_EQ(a.now(), 2.0);
   });
   engine.spawn([&, sleeper](Actor& a) {
@@ -162,8 +162,8 @@ TEST(ShardedEngine, TokenDoesNotLeakAcrossParks) {
   Engine engine;
   const int sleeper = engine.spawn([](Actor& a) {
     a.sync();
-    a.park();  // lint:allow unobserved-park (consumes the token)
-    a.park();  // lint:allow unobserved-park (deliberate deadlock)
+    a.park();  // mcio-analyze: allow(unobserved-park) -- consumes the token
+    a.park();  // mcio-analyze: allow(unobserved-park) -- deliberate deadlock
   });
   engine.spawn([sleeper](Actor& a) {
     a.engine().unpark(sleeper, 0.0);

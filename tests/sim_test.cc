@@ -51,7 +51,7 @@ TEST(Engine, ParkAndUnparkTransfersControl) {
   Engine engine;
   bool woke = false;
   const int sleeper = engine.spawn([&](Actor& a) {
-    a.park();  // lint:allow unobserved-park (scheduler's own test)
+    a.park();  // mcio-analyze: allow(unobserved-park) -- scheduler's own test
     woke = true;
     EXPECT_GE(a.now(), 2.5);
   });
@@ -68,8 +68,8 @@ TEST(Engine, ParkAndUnparkTransfersControl) {
 TEST(Engine, DeadlockDetected) {
   Engine engine;
   engine.spawn(
-      [](Actor& a) { a.park(); });  // lint:allow unobserved-park (nobody
-                                    // will wake it: the deadlock test)
+      // mcio-analyze: allow(unobserved-park) -- deliberate deadlock test
+      [](Actor& a) { a.park(); });
   EXPECT_THROW(engine.run(), util::Error);
 }
 

@@ -24,12 +24,16 @@ Rules, scoped to src/ and tests/ (see DESIGN.md §8 for the rationale):
                       (on_wait_begin/on_wait_end) so a deadlock report can
                       name the missing message. New engine touch points
                       follow the same observer-hook pattern.
-  mutable-static      a mutable function/file-scope `static` in src/sim or
-                      src/io is shared across the sharded engine's worker
-                      threads and the bench/fuzz pools without any lock
-                      (DESIGN.md §12); make it const/constexpr,
-                      thread_local, atomic, or guard it explicitly and
-                      annotate `// lint:allow mutable-static`.
+  banned-include      `#include <ctime>` / `#include <random>` /
+                      `std::chrono::system_clock` inside the deterministic
+                      dirs src/{sim,io,mpi,core,pfs} — host time and RNG
+                      must not be reachable from simulated code paths.
+
+Scope-aware mutable-static detection moved to mcio-analyze (the deep
+pass; DESIGN.md §13) — lint.py stays the fast regex pre-commit path.
+Suppressions: `// lint:allow <rule>`; lines suppressed for mcio-analyze
+with `// mcio-analyze: allow(<rule>) -- <justification>` are honored for
+the same rule name, so one annotation serves both tools.
 """
 
 from __future__ import annotations
@@ -61,18 +65,10 @@ RE_INT_FROM_SIZE = re.compile(
 RE_SIZE_CAST = re.compile(r"static_cast<[^>]+>\s*\([^;]*\.size\(\)")
 RE_PARK = re.compile(r"(?<![\w_.])(?:\w+\.)?park\s*\(\s*\)")
 RE_WAIT_HOOK = re.compile(r"on_wait_begin\s*\(")
-# A mutable `static` declaration: `static <type> name ...` that is not
-# const/constexpr/thread_local/atomic/mutex-typed, not a static member
-# *function* declaration (those have a parameter list before any `=` or
-# `;`), and not `static_assert`/`static_cast`.
-RE_STATIC_DECL = re.compile(r"(?<![\w_])static\s+(?!_assert|_cast)")
-RE_STATIC_SAFE = re.compile(
-    r"(?<![\w_])static\s+(?:const\b|constexpr\b|thread_local\b|"
-    r"(?:std\s*::\s*)?(?:atomic|mutex|once_flag)\b)")
-# `static <ret> name(...)` — a function (definition or declaration): an
-# identifier followed by an argument list, ending in `{`, `;` or a
-# continuation (multi-line signatures), with no `=` before the paren.
-RE_STATIC_FUNC = re.compile(r"(?<![\w_])static\s+[\w:<>,&*\s]+?\b\w+\s*\(")
+# Banned includes/uses in the deterministic dirs (the fast subset of
+# mcio-analyze's wall-clock/raw-random rules).
+RE_BANNED_INCLUDE = re.compile(r"#\s*include\s*<(ctime|random)>")
+RE_SYSTEM_CLOCK = re.compile(r"std\s*::\s*chrono\s*::\s*system_clock")
 
 # How far above a park() the wait hook must appear (lines).
 PARK_HOOK_WINDOW = 20
@@ -94,10 +90,20 @@ def lint_file(path: Path) -> list[tuple[Path, int, str, str]]:
     lines = [strip_comments_and_strings(l) for l in raw_lines]
     posix = path.as_posix()
     in_sim = "src/sim/" in posix
-    shared_hot_path = in_sim or "src/io/" in posix
+    deterministic_dir = any(
+        d in posix for d in ("src/sim/", "src/io/", "src/mpi/",
+                             "src/core/", "src/pfs/"))
 
     def allow(i: int, rule: str) -> bool:
-        return LINT_OFF in raw_lines[i] and rule in raw_lines[i]
+        line = raw_lines[i]
+        if LINT_OFF in line and rule in line:
+            return True
+        # mcio-analyze suppressions count for the same rule name (on the
+        # line or directly above, mirroring the analyzer), so one
+        # annotation serves both tools.
+        above = raw_lines[i - 1] if i > 0 else ""
+        return any("mcio-analyze: allow(" in l and rule in l
+                   for l in (line, above))
 
     for i, line in enumerate(lines):
         n = i + 1
@@ -127,16 +133,16 @@ def lint_file(path: Path) -> list[tuple[Path, int, str, str]]:
                 (path, n, "untagged-narrowing",
                  "tag the size_t -> int narrowing with "
                  "static_cast<int>(...)"))
-        if (shared_hot_path and RE_STATIC_DECL.search(line)
-                and not RE_STATIC_SAFE.search(line)
-                and not RE_STATIC_FUNC.search(line)
-                and not allow(i, "mutable-static")):
+        if (deterministic_dir
+                and (RE_BANNED_INCLUDE.search(line)
+                     or RE_SYSTEM_CLOCK.search(line))
+                and not allow(i, "banned-include")):
             findings.append(
-                (path, n, "mutable-static",
-                 "mutable static in src/sim|src/io — shared across "
-                 "engine worker threads and bench/fuzz pools; make it "
-                 "const/constexpr/thread_local/atomic or lock it and "
-                 "annotate lint:allow mutable-static (DESIGN.md §12)"))
+                (path, n, "banned-include",
+                 "<ctime>/<random>/system_clock in a deterministic dir "
+                 "— host time and RNG must stay out of "
+                 "src/{sim,io,mpi,core,pfs} (DESIGN.md §12); "
+                 "mcio-analyze runs the deep version of this rule"))
         if not in_sim and RE_PARK.search(line):
             window = lines[max(0, i - PARK_HOOK_WINDOW):i]
             if (not any(RE_WAIT_HOOK.search(w) for w in window)
@@ -158,7 +164,8 @@ def main(argv: list[str]) -> int:
             files.append(root)
         else:
             files.extend(p for p in sorted(root.rglob("*"))
-                         if p.suffix in SRC_EXTENSIONS)
+                         if p.suffix in SRC_EXTENSIONS
+                         and "analyze_fixtures" not in p.parts)
     if not files:
         print("lint.py: no source files found", file=sys.stderr)
         return 2
