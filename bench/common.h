@@ -331,6 +331,13 @@ struct RunOptions {
   /// sequential event order exactly (DESIGN.md §12) — so this is a
   /// determinism-property knob, not a speedup knob.
   int sim_shards = 1;
+  /// Run the sharded engine's conservative-lookahead scheduler
+  /// (`--lookahead`): shard workers execute concurrently inside the
+  /// topology-derived lookahead window instead of replaying the global
+  /// order one event at a time. Output is still byte-identical
+  /// (DESIGN.md §14); only host wall time changes. Ignored (with a
+  /// sequenced fallback) when sim_shards == 1.
+  bool sim_lookahead = false;
   /// Audit this run through a private deferred Auditor instead of the
   /// global one, folding its counters into the global totals afterwards.
   /// Required when run_experiment calls execute concurrently (the global
@@ -401,6 +408,7 @@ inline RunResult run_experiment(const RunOptions& opt,
 
   mpi::Machine machine(opt.testbed.cluster());
   machine.set_sim_shards(opt.sim_shards);
+  machine.set_sim_lookahead(opt.sim_lookahead);
   pfs::Pfs fs(machine.cluster(), opt.testbed.pfs());
   node::MemoryVariance var;
   var.relative_stdev = opt.mem_stdev;
@@ -550,6 +558,28 @@ inline void check_sweep_equal(const std::vector<SweepPoint>& a,
     MCIO_CHECK_EQ(x.shuffle_inter_node(), y.shuffle_inter_node());
     MCIO_CHECK_EQ(x.rmw_bytes(), y.rmw_bytes());
     MCIO_CHECK_EQ(x.io_bytes(), y.io_bytes());
+    // Degradation-ladder trail (nonzero only under fault plans): the
+    // ladder's grant/deny/borrow decisions must replay identically too.
+    const metrics::DegradationStats& dx = x.degradation();
+    const metrics::DegradationStats& dy = y.degradation();
+    MCIO_CHECK_EQ(dx.lease_denials, dy.lease_denials);
+    MCIO_CHECK_EQ(dx.lease_retries, dy.lease_retries);
+    MCIO_CHECK_EQ(dx.backoff_s, dy.backoff_s);
+    MCIO_CHECK_EQ(dx.grant_delays, dy.grant_delays);
+    MCIO_CHECK_EQ(dx.grant_delay_s, dy.grant_delay_s);
+    MCIO_CHECK_EQ(dx.revocations, dy.revocations);
+    MCIO_CHECK_EQ(dx.buffer_shrinks, dy.buffer_shrinks);
+    MCIO_CHECK_EQ(dx.spills, dy.spills);
+    MCIO_CHECK_EQ(dx.spilled_bytes, dy.spilled_bytes);
+    MCIO_CHECK_EQ(dx.plan_remerges, dy.plan_remerges);
+    MCIO_CHECK_EQ(dx.exhausted_nodes, dy.exhausted_nodes);
+    MCIO_CHECK_EQ(dx.fallback_ranks, dy.fallback_ranks);
+    MCIO_CHECK_EQ(dx.fallback_bytes, dy.fallback_bytes);
+    MCIO_CHECK_EQ(dx.lease_retry_giveups, dy.lease_retry_giveups);
+    MCIO_CHECK_EQ(dx.borrows, dy.borrows);
+    MCIO_CHECK_EQ(dx.borrowed_bytes, dy.borrowed_bytes);
+    MCIO_CHECK_EQ(dx.borrow_denials, dy.borrow_denials);
+    MCIO_CHECK_EQ(dx.donor_revocations, dy.donor_revocations);
   };
   const auto check_run = [&](const RunResult& x, const RunResult& y) {
     MCIO_CHECK_EQ(x.write_bw, y.write_bw);
@@ -565,16 +595,20 @@ inline void check_sweep_equal(const std::vector<SweepPoint>& a,
 }
 
 /// Consumes the shared host-parallelism flags of the figure benches:
-/// `--threads` (sweep cells run on this many host threads) and
+/// `--threads` (sweep cells run on this many host threads),
 /// `--sim-shards` (each simulation's engine runs sharded over this many
-/// workers). Neither changes any simulated output.
+/// workers) and `--lookahead` (shard workers run the conservative
+/// lookahead scheduler instead of sequenced replay). None changes any
+/// simulated output.
 struct ParallelFlags {
   int threads = 1;
   int sim_shards = 1;
+  bool lookahead = false;
 
   explicit ParallelFlags(const util::Cli& cli)
       : threads(static_cast<int>(cli.get_int("threads", 1))),
-        sim_shards(static_cast<int>(cli.get_int("sim-shards", 1))) {
+        sim_shards(static_cast<int>(cli.get_int("sim-shards", 1))),
+        lookahead(cli.get_bool("lookahead", false)) {
     MCIO_CHECK_GE(threads, 1);
     MCIO_CHECK_GE(sim_shards, 1);
   }

@@ -106,6 +106,7 @@ RunOutcome run_scenario(const Scenario& scenario, DriverKind kind,
   cluster.ranks_per_node = scenario.ranks_per_node;
   mpi::Machine machine(cluster);
   machine.set_sim_shards(options.sim_shards);
+  machine.set_sim_lookahead(options.lookahead);
   machine.set_observer(&audit);
 
   pfs::PfsConfig pfs_config;

@@ -71,11 +71,14 @@ struct DiffResult {
   std::string classify() const;
 };
 
-/// Host-side knobs of one oracle run. Neither changes any simulated
-/// byte: sim_shards shards the engine's workers (DESIGN.md §12), and the
-/// shards-matrix soak in tools/fuzz_driver.cc asserts exactly that.
+/// Host-side knobs of one oracle run. None changes any simulated byte:
+/// sim_shards shards the engine's workers (DESIGN.md §12), lookahead
+/// lets those workers run concurrently inside the topology-derived
+/// lookahead window (DESIGN.md §14), and the shards-matrix soak in
+/// tools/fuzz_driver.cc asserts exactly that.
 struct OracleOptions {
   int sim_shards = 1;
+  bool lookahead = false;
 };
 
 /// Runs the scenario under one driver on a fresh simulated machine.

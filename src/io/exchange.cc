@@ -1222,6 +1222,11 @@ void TwoPhaseExchange::aggregator_read() {
         }
       }
     }
+    // Rejoin the global order before returning the lease: the window's
+    // last interaction was a local-class send, and a release applied
+    // from a local slice would order against other ranks' ladder grants
+    // by scheduler mode instead of by stamp.
+    actor().sync();
     b.lease.release();
     if (ctx_.stats != nullptr) ctx_.stats->record_aggregator(rec);
   }

@@ -1,17 +1,23 @@
 #include "metrics/collective_stats.h"
 
+#include "sim/engine.h"
+
 namespace mcio::metrics {
 
 void CollectiveStats::record_aggregator(const AggregatorRecord& record) {
+  // Vector order feeds buffer_stats()' floating-point accumulation, so
+  // insertions must follow the globally-serialized slice order — not
+  // whatever order concurrent shards would race into.
+  sim::assert_global_interaction("aggregator record");
   aggregators_.push_back(record);
 }
 
 void CollectiveStats::record_shuffle(int src_node, int dst_node,
                                      std::uint64_t bytes) {
   if (src_node == dst_node) {
-    intra_node_bytes_ += bytes;
+    bump(intra_node_bytes_, bytes);
   } else {
-    inter_node_bytes_ += bytes;
+    bump(inter_node_bytes_, bytes);
   }
 }
 

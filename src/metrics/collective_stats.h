@@ -6,6 +6,7 @@
 // records all of it here.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <vector>
@@ -55,6 +56,14 @@ struct AggregatorRecord {
   int rounds = 0;
 };
 
+/// Shared by every rank of a collective, so record_* calls can arrive
+/// concurrently from lookahead shard workers. Integer counters bump
+/// through relaxed atomics — sums are commutative, so totals cannot
+/// depend on the scheduler mode. The order-sensitive state (the
+/// aggregator vector, the virtual-seconds accumulators) is only ever
+/// reached from globally-serialized slices (ladder/PFS paths), which
+/// the lookahead scheduler runs in the exact sequenced order; readers
+/// are quiescent (between collectives / after the run).
 class CollectiveStats {
  public:
   void record_aggregator(const AggregatorRecord& record);
@@ -65,49 +74,49 @@ class CollectiveStats {
   /// pure accounting, never charges virtual time.
   void record_msg(int src_node, int dst_node, std::uint64_t bytes) {
     if (src_node == dst_node) {
-      ++msgs_intra_node_;
+      bump(msgs_intra_node_);
     } else {
-      ++msgs_inter_node_;
-      bytes_inter_node_ += bytes;
+      bump(msgs_inter_node_);
+      bump(bytes_inter_node_, bytes);
     }
   }
-  void record_rmw(std::uint64_t bytes) { rmw_bytes_ += bytes; }
-  void record_io(std::uint64_t bytes) { io_bytes_ += bytes; }
+  void record_rmw(std::uint64_t bytes) { bump(rmw_bytes_, bytes); }
+  void record_io(std::uint64_t bytes) { bump(io_bytes_, bytes); }
   void set_groups(int n) { num_groups_ = n; }
   void set_elapsed(sim::SimTime t) { elapsed_ = t; }
 
   // Degradation-ladder events (see DegradationStats).
-  void record_denial() { ++degradation_.lease_denials; }
+  void record_denial() { bump(degradation_.lease_denials); }
   void record_retry(double backoff_s) {
-    ++degradation_.lease_retries;
-    degradation_.backoff_s += backoff_s;
+    bump(degradation_.lease_retries);
+    degradation_.backoff_s += backoff_s;  // global slices only (ladder)
   }
   void record_grant_delay(double delay_s) {
-    ++degradation_.grant_delays;
-    degradation_.grant_delay_s += delay_s;
+    bump(degradation_.grant_delays);
+    degradation_.grant_delay_s += delay_s;  // global slices only (ladder)
   }
-  void record_revocation() { ++degradation_.revocations; }
-  void record_shrink() { ++degradation_.buffer_shrinks; }
-  void record_spill() { ++degradation_.spills; }
+  void record_revocation() { bump(degradation_.revocations); }
+  void record_shrink() { bump(degradation_.buffer_shrinks); }
+  void record_spill() { bump(degradation_.spills); }
   void record_spilled_bytes(std::uint64_t bytes) {
-    degradation_.spilled_bytes += bytes;
+    bump(degradation_.spilled_bytes, bytes);
   }
   void record_plan_degradation(std::uint64_t remerges,
                                std::uint64_t exhausted_nodes) {
-    degradation_.plan_remerges += remerges;
-    degradation_.exhausted_nodes += exhausted_nodes;
+    bump(degradation_.plan_remerges, remerges);
+    bump(degradation_.exhausted_nodes, exhausted_nodes);
   }
   void record_fallback(std::uint64_t bytes) {
-    ++degradation_.fallback_ranks;
-    degradation_.fallback_bytes += bytes;
+    bump(degradation_.fallback_ranks);
+    bump(degradation_.fallback_bytes, bytes);
   }
-  void record_retry_giveup() { ++degradation_.lease_retry_giveups; }
-  void record_borrow() { ++degradation_.borrows; }
+  void record_retry_giveup() { bump(degradation_.lease_retry_giveups); }
+  void record_borrow() { bump(degradation_.borrows); }
   void record_borrowed_bytes(std::uint64_t bytes) {
-    degradation_.borrowed_bytes += bytes;
+    bump(degradation_.borrowed_bytes, bytes);
   }
-  void record_borrow_denial() { ++degradation_.borrow_denials; }
-  void record_donor_revocation() { ++degradation_.donor_revocations; }
+  void record_borrow_denial() { bump(degradation_.borrow_denials); }
+  void record_donor_revocation() { bump(degradation_.donor_revocations); }
   const DegradationStats& degradation() const { return degradation_; }
 
   const std::vector<AggregatorRecord>& aggregators() const {
@@ -143,6 +152,14 @@ class CollectiveStats {
   void clear();
 
  private:
+  /// Relaxed atomic increment of a plain counter (C++20 atomic_ref):
+  /// callers on concurrent shard workers sum without tearing and without
+  /// imposing any ordering the totals do not need.
+  static void bump(std::uint64_t& counter, std::uint64_t v = 1) {
+    std::atomic_ref<std::uint64_t>(counter).fetch_add(
+        v, std::memory_order_relaxed);
+  }
+
   std::vector<AggregatorRecord> aggregators_;
   std::uint64_t intra_node_bytes_ = 0;
   std::uint64_t inter_node_bytes_ = 0;

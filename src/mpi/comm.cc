@@ -56,7 +56,7 @@ int Comm::reserve_tags(int n) {
 
 void Comm::send(int dst, int tag, util::ConstPayload data) {
   sim::Actor& actor = owner_->actor();
-  actor.sync();  // interact in global virtual-time order
+  actor.sync_local();  // stamp the send in virtual-time order
   const int wdst = world_rank(dst);
   Envelope env;
   env.comm_id = comm_id_;
@@ -81,7 +81,7 @@ Request Comm::isend(int dst, int tag, util::ConstPayload data) {
 
 Request Comm::irecv(int src, int tag, util::Payload buf) {
   sim::Actor& actor = owner_->actor();
-  actor.sync();
+  actor.sync_local();
   Endpoint& ep = my_endpoint();
   auto slot = ep.acquire_slot();
   slot->comm_id = comm_id_;
@@ -151,14 +151,14 @@ void Comm::send_blob(int dst, int tag, std::span<const std::byte> blob) {
   // Charge both transport passes of the historical two-message protocol
   // (size header, then body) so the simulated clock and resource state
   // are bit-identical; deliver the result as a single framed envelope.
-  actor.sync();
+  actor.sync_local();
   auto header_arrival = std::make_shared<sim::SimTime>(0.0);
   machine_->charge_transfer(node_of(rank()), node_of(dst), wdst,
                             sizeof(size), actor.now(), header_arrival);
   actor.advance(machine_->config().send_overhead);
   auto arrival = header_arrival;
   if (size > 0) {
-    actor.sync();
+    actor.sync_local();
     arrival = std::make_shared<sim::SimTime>(0.0);
     machine_->charge_transfer(node_of(rank()), node_of(dst), wdst, size,
                               actor.now(), arrival);
@@ -173,13 +173,14 @@ void Comm::send_blob(int dst, int tag, std::span<const std::byte> blob) {
   env.framed = true;
   // Arrival stamps resolve on the destination shard (deferred ingress
   // charges); deliver_framed reads them at apply time.
-  machine_->deliver_framed(wdst, std::move(env), std::move(header_arrival),
+  machine_->deliver_framed(node_of(rank()), node_of(dst), wdst,
+                           std::move(env), std::move(header_arrival),
                            std::move(arrival));
 }
 
 void Comm::send_shm(int dst, int tag, util::ConstPayload data) {
   sim::Actor& actor = owner_->actor();
-  actor.sync();
+  actor.sync_local();
   const int wdst = world_rank(dst);
   const int node = node_of(rank());
   MCIO_CHECK_EQ(node, node_of(dst));
@@ -204,13 +205,13 @@ void Comm::send_blob_shm(int dst, int tag, std::span<const std::byte> blob) {
   // Same two-pass framing as send_blob (header then body) so a receiver
   // cannot tell which channel a blob crossed — only the charged resource
   // differs.
-  actor.sync();
+  actor.sync_local();
   const sim::SimTime header_arrival =
       machine_->shm_transfer(node, sizeof(size), actor.now());
   actor.advance(machine_->config().shm_send_overhead);
   sim::SimTime arrival = header_arrival;
   if (size > 0) {
-    actor.sync();
+    actor.sync_local();
     arrival = machine_->shm_transfer(node, size, actor.now());
     actor.advance(machine_->config().shm_send_overhead);
   }
@@ -228,7 +229,7 @@ void Comm::send_blob_shm(int dst, int tag, std::span<const std::byte> blob) {
 
 FramedBlob Comm::recv_blob_deferred(int src, int tag) {
   sim::Actor& actor = owner_->actor();
-  actor.sync();
+  actor.sync_local();
   Endpoint& ep = my_endpoint();
   auto slot = ep.acquire_slot();
   slot->comm_id = comm_id_;

@@ -21,8 +21,14 @@ std::vector<sim::SimTime> Machine::run(
   endpoints_.assign(static_cast<std::size_t>(nranks), Endpoint{});
   sim::Engine::Options eopt;
   eopt.threads = sim_shards_;
+  eopt.lookahead = sim_lookahead_;
   sim::Engine engine(eopt);
   engine.set_observer(observer_);
+  engine.set_lookahead_provider(
+      [this](const std::vector<int>& shard_of, int nshards) {
+        return sim::shard_lookahead_matrix(cluster_.config(), shard_of,
+                                           nshards);
+      });
   engine_ = &engine;
   for (int r = 0; r < nranks; ++r) {
     // Shard hint = the rank's node: co-located ranks (dense intra-node
@@ -64,10 +70,35 @@ void Machine::set_sim_shards(int shards) {
   sim_shards_ = shards;
 }
 
+void Machine::set_sim_lookahead(bool lookahead) {
+  MCIO_CHECK_MSG(engine_ == nullptr, "set_sim_lookahead during run()");
+  sim_lookahead_ = lookahead;
+}
+
 std::uint64_t Machine::intern_group(const std::vector<int>& world_members) {
-  auto [it, inserted] =
-      group_ids_.try_emplace(world_members, group_ids_.size() + 1);
-  return it->second;
+  // Content hash (FNV-1a over the member list): the id is a pure
+  // function of the membership, so concurrent first-interning ranks on
+  // different shards agree without coordination and the id can never
+  // leak shard-placement order into figures or audit keys. The top bit
+  // is reserved for Comm::dup()'s generated ids.
+  std::uint64_t h = 1469598103934665603ull;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<std::uint64_t>(world_members.size()));
+  for (const int m : world_members) {
+    mix(static_cast<std::uint64_t>(static_cast<std::uint32_t>(m)));
+  }
+  h &= ~(1ull << 63);
+  if (h == 0) h = 1;
+  const util::MutexLock lk(group_mu_);
+  const auto [it, inserted] = group_ids_.try_emplace(h, world_members);
+  MCIO_CHECK_MSG(it->second == world_members,
+                 "communicator group hash collision on id " << h);
+  return h;
 }
 
 sim::SimTime Machine::transfer(int src_node, int dst_node,
@@ -87,33 +118,38 @@ sim::SimTime Machine::shm_transfer(int node, std::uint64_t bytes,
   return cluster_.shm(node).serve(start, static_cast<double>(bytes));
 }
 
+bool Machine::defer_ingress(int world_dst) const {
+  if (engine_ == nullptr) return false;
+  return engine_->cross_shard(world_dst) || engine_->lookahead_active();
+}
+
 void Machine::transfer_deliver(int src_node, int dst_node, int world_dst,
                                Envelope env, std::uint64_t bytes,
                                sim::SimTime start) {
   const auto fbytes = static_cast<double>(bytes);
   if (src_node == dst_node) {
     // Intra-node: one membus pass; same node means same shard, so the
-    // delivery below never routes through a mailbox.
+    // delivery schedules directly on the executing shard.
     env.arrival = cluster_.membus(src_node).serve(start, fbytes);
-    deliver(world_dst, std::move(env));
+    schedule_delivery(world_dst, std::move(env));
     return;
   }
   const sim::SimTime sent = cluster_.nic_out(src_node).serve(start, fbytes);
-  if (engine_ != nullptr && engine_->cross_shard(world_dst)) {
-    // The receiver's NIC ingress belongs to the destination shard: the
-    // serve is applied at this slice's stamp in the merged order, which
-    // reproduces the single-threaded ingress-queue FIFO exactly.
-    engine_->post_remote(
+  if (defer_ingress(world_dst)) {
+    // The receiver's NIC ingress is charged on the destination's shard
+    // at this slice's stamp in the merged order, which reproduces the
+    // sequenced ingress-queue FIFO exactly.
+    engine_->post_stamped(
         world_dst,
         [this, dst_node, world_dst, fbytes, sent,
          env = std::move(env)]() mutable {
           env.arrival = cluster_.nic_in(dst_node).serve(sent, fbytes);
-          deliver_now(world_dst, std::move(env));
+          schedule_delivery(world_dst, std::move(env));
         });
     return;
   }
   env.arrival = cluster_.nic_in(dst_node).serve(sent, fbytes);
-  deliver_now(world_dst, std::move(env));
+  schedule_delivery(world_dst, std::move(env));
 }
 
 void Machine::charge_transfer(int src_node, int dst_node, int world_dst,
@@ -125,8 +161,8 @@ void Machine::charge_transfer(int src_node, int dst_node, int world_dst,
     return;
   }
   const sim::SimTime sent = cluster_.nic_out(src_node).serve(start, fbytes);
-  if (engine_ != nullptr && engine_->cross_shard(world_dst)) {
-    engine_->post_remote(
+  if (defer_ingress(world_dst)) {
+    engine_->post_stamped(
         world_dst,
         [this, dst_node, fbytes, sent, arrival_out = std::move(arrival_out)] {
           *arrival_out = cluster_.nic_in(dst_node).serve(sent, fbytes);
@@ -136,41 +172,50 @@ void Machine::charge_transfer(int src_node, int dst_node, int world_dst,
   *arrival_out = cluster_.nic_in(dst_node).serve(sent, fbytes);
 }
 
-void Machine::deliver_framed(int world_dst, Envelope env,
+void Machine::deliver_framed(int src_node, int dst_node, int world_dst,
+                             Envelope env,
                              std::shared_ptr<sim::SimTime> header_arrival,
                              std::shared_ptr<sim::SimTime> arrival) {
-  if (engine_ != nullptr && engine_->cross_shard(world_dst)) {
-    engine_->post_remote(
+  if (src_node != dst_node && defer_ingress(world_dst)) {
+    engine_->post_stamped(
         world_dst,
         [this, world_dst, env = std::move(env),
          header_arrival = std::move(header_arrival),
          arrival = std::move(arrival)]() mutable {
-          // Mailbox FIFO order has already applied this sender's ingress
-          // charges, so the shared stamps are resolved by now.
+          // Per-pair mailbox FIFO order has already applied this
+          // sender's ingress charges, so the shared stamps are resolved
+          // by now.
           env.header_arrival = *header_arrival;
           env.arrival = *arrival;
-          deliver_now(world_dst, std::move(env));
+          schedule_delivery(world_dst, std::move(env));
         });
     return;
   }
   env.header_arrival = *header_arrival;
   env.arrival = *arrival;
-  deliver_now(world_dst, std::move(env));
+  schedule_delivery(world_dst, std::move(env));
 }
 
 void Machine::deliver(int world_dst, Envelope env) {
-  if (engine_ != nullptr && engine_->cross_shard(world_dst)) {
-    engine_->post_remote(world_dst,
-                         [this, world_dst, env = std::move(env)]() mutable {
-                           deliver_now(world_dst, std::move(env));
-                         });
-    return;
-  }
-  deliver_now(world_dst, std::move(env));
+  schedule_delivery(world_dst, std::move(env));
+}
+
+void Machine::schedule_delivery(int world_dst, Envelope env) {
+  // Deliveries apply at their arrival virtual time, keyed (arrival,
+  // stamping actor, seq) — identical in every scheduler mode, which is
+  // what keeps any-source matching and unexpected-queue contents
+  // byte-identical between the sequenced and lookahead paths.
+  MCIO_CHECK_MSG(engine_ != nullptr, "delivery outside run()");
+  const sim::SimTime arrival = env.arrival;
+  engine_->post_at(world_dst, arrival,
+                   [this, world_dst, env = std::move(env)]() mutable {
+                     deliver_now(world_dst, std::move(env));
+                   });
 }
 
 void Machine::deliver_now(int world_dst, Envelope env) {
   Endpoint& ep = endpoint(world_dst);
+  const sim::SimTime arrival = env.arrival;
   const std::shared_ptr<RecvSlot> slot = ep.match_posted(env);
   observer_->on_message_delivered(env.comm_id, env.src, world_dst, env.tag,
                                   env.body.size(),
@@ -179,7 +224,7 @@ void Machine::deliver_now(int world_dst, Envelope env) {
     fulfill(*slot, std::move(env));
     if (ep.waiting > 0 && engine_ != nullptr &&
         engine_->is_parked(world_dst)) {
-      engine_->unpark(world_dst, 0.0);
+      engine_->unpark(world_dst, arrival);
     }
     return;
   }

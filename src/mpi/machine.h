@@ -17,6 +17,8 @@
 #include "mpi/message.h"
 #include "sim/engine.h"
 #include "sim/topology.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 #include "verify/observer.h"
 
 namespace mcio::mpi {
@@ -42,7 +44,19 @@ class Machine {
   void set_sim_shards(int shards);
   int sim_shards() const { return sim_shards_; }
 
-  /// Interns a communicator group; identical member lists get the same id.
+  /// Conservative lookahead (DESIGN.md §14) for subsequent run() calls:
+  /// shards advance concurrently inside the topology's latency windows
+  /// instead of replaying the global order under one lock. Results stay
+  /// bit-identical; needs sim_shards > 1 and a strictly positive
+  /// cross-node latency to engage (Engine::lookahead_active() reports
+  /// whether it did).
+  void set_sim_lookahead(bool lookahead);
+  bool sim_lookahead() const { return sim_lookahead_; }
+
+  /// Interns a communicator group; identical member lists get the same
+  /// id. The id is a content hash of the member list (top bit reserved
+  /// for Comm::dup()'s generated ids), so it does not depend on the
+  /// interleaving of first-interning ranks across engine shards.
   std::uint64_t intern_group(const std::vector<int>& world_members);
 
   // --- transport internals (used by Comm) ---
@@ -58,19 +72,18 @@ class Machine {
   sim::SimTime shm_transfer(int node, std::uint64_t bytes,
                             sim::SimTime start);
 
-  /// Delivers an envelope to a world rank: matches a posted receive or
-  /// queues as unexpected; wakes the destination if it is parked waiting.
-  /// When the destination rank lives on another engine shard, the
-  /// delivery is routed through the cross-shard mailbox (applied at the
-  /// current slice's position in the global order — byte-identical to
-  /// the single-threaded inline delivery).
+  /// Delivers an envelope (arrival already stamped) to a same-node —
+  /// therefore same-shard — world rank: the delivery applies as a timed
+  /// event at env.arrival, where it matches a posted receive or queues
+  /// as unexpected and wakes a parked receiver.
   void deliver(int world_dst, Envelope env);
 
   /// Transport + delivery of one envelope whose arrival is still
-  /// unknown: charges the source-side leg inline and computes the
-  /// destination-side NIC ingress on the *destination's* shard for a
-  /// cross-shard receiver, then delivers. Same-node transfers (one
-  /// membus pass) are always same-shard and stay inline.
+  /// unknown: charges the source-side leg inline; a cross-node
+  /// receiver's NIC ingress is charged on the destination's shard in
+  /// stamped mailbox order (so the ingress queue's FIFO matches the
+  /// sequenced schedule exactly), then the delivery applies at its
+  /// arrival time.
   void transfer_deliver(int src_node, int dst_node, int world_dst,
                         Envelope env, std::uint64_t bytes,
                         sim::SimTime start);
@@ -78,17 +91,19 @@ class Machine {
   /// One transport pass of the framed (header/body) blob protocol:
   /// charges the source-side leg inline; the destination-side ingress
   /// charge is deferred to the destination's shard and written into
-  /// `*arrival_out` when it is applied. Single-threaded (and same-shard)
-  /// runs fill `*arrival_out` before returning, exactly like transfer().
+  /// `*arrival_out` when it is applied. Single-threaded same-node runs
+  /// fill `*arrival_out` before returning.
   void charge_transfer(int src_node, int dst_node, int world_dst,
                        std::uint64_t bytes, sim::SimTime start,
                        std::shared_ptr<sim::SimTime> arrival_out);
 
   /// Delivers a framed envelope whose arrival stamps were produced by
-  /// charge_transfer(): the shared slots are read when the delivery is
-  /// applied on the destination shard, after its deferred ingress
-  /// charges (mailbox FIFO order guarantees they resolve first).
-  void deliver_framed(int world_dst, Envelope env,
+  /// charge_transfer(): the shared slots are read once the sender's
+  /// deferred ingress charges have resolved (mailbox FIFO order per
+  /// shard pair guarantees they drain first), then the delivery applies
+  /// at its body arrival time.
+  void deliver_framed(int src_node, int dst_node, int world_dst,
+                      Envelope env,
                       std::shared_ptr<sim::SimTime> header_arrival,
                       std::shared_ptr<sim::SimTime> arrival);
 
@@ -102,14 +117,28 @@ class Machine {
   verify::Observer* observer() const { return observer_; }
 
  private:
-  /// Applies a delivery to the destination endpoint (no shard routing).
+  /// Schedules deliver_now() as a timed event at env.arrival on the
+  /// destination's shard (which must be the executing shard).
+  void schedule_delivery(int world_dst, Envelope env);
+  /// Applies a delivery to the destination endpoint (no scheduling).
   void deliver_now(int world_dst, Envelope env);
+  /// True when the destination's side of a cross-node transport must be
+  /// applied through the stamped mailbox instead of inline: always for a
+  /// cross-shard receiver, and for every cross-node receiver under
+  /// lookahead (the ingress queue's serve order must be the machine-wide
+  /// stamp order, not the executing shard's local progress).
+  bool defer_ingress(int world_dst) const;
 
   sim::Cluster cluster_;
   std::vector<Endpoint> endpoints_;
-  std::map<std::vector<int>, std::uint64_t> group_ids_;
+  /// Interned groups by content hash, for collision detection. Guarded:
+  /// under lookahead, ranks on different shards intern concurrently.
+  std::map<std::uint64_t, std::vector<int>> group_ids_
+      MCIO_GUARDED_BY(group_mu_);
+  util::Mutex group_mu_;
   sim::Engine* engine_ = nullptr;  // valid during run()
   int sim_shards_ = 1;
+  bool sim_lookahead_ = false;
   verify::Observer* observer_;
 };
 

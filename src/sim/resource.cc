@@ -30,7 +30,11 @@ SimTime BandwidthQueue::serve(SimTime start, double bytes, double bw_scale,
 
 double BandwidthQueue::utilization(SimTime horizon) const {
   if (horizon <= 0.0) return 0.0;
-  return std::min(1.0, busy_time_ / horizon);
+  return busy_time_ / horizon;
+}
+
+double BandwidthQueue::utilization_clamped(SimTime horizon) const {
+  return std::min(1.0, utilization(horizon));
 }
 
 void BandwidthQueue::reset_accounting() {

@@ -38,8 +38,13 @@ class BandwidthQueue {
   double total_bytes() const { return total_bytes_; }
   std::uint64_t total_requests() const { return total_requests_; }
   SimTime busy_time() const { return busy_time_; }
-  /// Fraction of [0, horizon) this resource spent busy.
+  /// Ratio of busy time to [0, horizon). Exceeds 1.0 when accumulated
+  /// service time outruns the horizon (queueing pushed work past it) —
+  /// that oversubscription is real signal, so the raw ratio is returned
+  /// and presentation layers clamp via `utilization_clamped`.
   double utilization(SimTime horizon) const;
+  /// `utilization` capped at 1.0 for display/reporting.
+  double utilization_clamped(SimTime horizon) const;
 
   void reset_accounting();
 

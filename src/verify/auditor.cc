@@ -76,6 +76,8 @@ const char* dir_name(bool is_write) { return is_write ? "write" : "read"; }
 
 }  // namespace
 
+thread_local int Auditor::tl_cur_actor_ = -1;
+
 Auditor::Auditor() = default;
 Auditor::~Auditor() = default;
 
@@ -93,15 +95,17 @@ void Auditor::add_finding(std::string kind, std::string message) {
 }
 
 void Auditor::on_engine_start(int num_actors) {
+  const util::MutexLock lock(hook_mu_);
   const auto n = static_cast<std::size_t>(num_actors);
   last_clock_.assign(n, 0.0);
   waits_.assign(n, WaitInfo{});
-  cur_actor_ = -1;
+  tl_cur_actor_ = -1;
 }
 
 void Auditor::on_actor_resumed(int actor, double clock) {
+  const util::MutexLock lock(hook_mu_);
   ++counters_.slices;
-  cur_actor_ = actor;
+  tl_cur_actor_ = actor;
   const auto i = static_cast<std::size_t>(actor);
   if (i >= last_clock_.size()) last_clock_.resize(i + 1, 0.0);
   if (clock < last_clock_[i]) {
@@ -115,7 +119,8 @@ void Auditor::on_actor_resumed(int actor, double clock) {
 }
 
 void Auditor::on_actor_yielded(int actor, double clock) {
-  cur_actor_ = -1;
+  const util::MutexLock lock(hook_mu_);
+  tl_cur_actor_ = -1;
   const auto i = static_cast<std::size_t>(actor);
   if (i >= last_clock_.size()) last_clock_.resize(i + 1, 0.0);
   if (clock < last_clock_[i]) {
@@ -129,6 +134,7 @@ void Auditor::on_actor_yielded(int actor, double clock) {
 }
 
 std::string Auditor::describe_deadlock(std::span<const int> stuck) {
+  const util::MutexLock lock(hook_mu_);
   std::ostringstream os;
   os << "\naudit: blocked fibers:";
   for (const int a : stuck) {
@@ -219,12 +225,14 @@ void Auditor::on_message_delivered(std::uint64_t comm_id, int src,
   (void)dst_world;
   (void)tag;
   (void)bytes;
+  const util::MutexLock lock(hook_mu_);
   ++counters_.messages;
   if (!matched) ++counters_.unexpected;
 }
 
 void Auditor::on_wait_begin(int actor, std::uint64_t comm_id, int src_world,
                             int tag) {
+  const util::MutexLock lock(hook_mu_);
   ++counters_.waits;
   const auto i = static_cast<std::size_t>(actor);
   if (i >= waits_.size()) waits_.resize(i + 1);
@@ -232,12 +240,14 @@ void Auditor::on_wait_begin(int actor, std::uint64_t comm_id, int src_world,
 }
 
 void Auditor::on_wait_end(int actor) {
+  const util::MutexLock lock(hook_mu_);
   const auto i = static_cast<std::size_t>(actor);
   if (i < waits_.size()) waits_[i].waiting = false;
 }
 
 void Auditor::on_orphan_message(int dst_world, std::uint64_t comm_id,
                                 int src, int tag, std::uint64_t bytes) {
+  const util::MutexLock lock(hook_mu_);
   std::ostringstream os;
   os << "message src rank " << src << " -> dst rank " << dst_world
      << " (comm " << comm_id << ", tag " << tag << ", " << bytes
@@ -247,6 +257,7 @@ void Auditor::on_orphan_message(int dst_world, std::uint64_t comm_id,
 
 void Auditor::on_orphan_recv(int dst_world, std::uint64_t comm_id, int src,
                              int tag) {
+  const util::MutexLock lock(hook_mu_);
   std::ostringstream os;
   os << "rank " << dst_world << " posted recv(src=";
   if (src < 0) {
@@ -274,10 +285,11 @@ int Auditor::mgr_id(const void* mgr) {
 
 void Auditor::on_lease_grant(const void* mgr, int node,
                              std::uint64_t bytes) {
+  const util::MutexLock lock(hook_mu_);
   ++counters_.lease_grants;
   const int id = mgr_id(mgr);
   ledger_[{id, node}] += static_cast<std::int64_t>(bytes);
-  if (Epoch* ep = innermost_epoch(cur_actor_)) {
+  if (Epoch* ep = innermost_epoch(tl_cur_actor_)) {
     auto& [balance, grants] = ep->leases[{id, node}];
     balance += static_cast<std::int64_t>(bytes);
     ++grants;
@@ -286,15 +298,17 @@ void Auditor::on_lease_grant(const void* mgr, int node,
 
 void Auditor::on_lease_release(const void* mgr, int node,
                                std::uint64_t bytes) {
+  const util::MutexLock lock(hook_mu_);
   ++counters_.lease_releases;
   const int id = mgr_id(mgr);
   ledger_[{id, node}] -= static_cast<std::int64_t>(bytes);
-  if (Epoch* ep = innermost_epoch(cur_actor_)) {
+  if (Epoch* ep = innermost_epoch(tl_cur_actor_)) {
     ep->leases[{id, node}].first -= static_cast<std::int64_t>(bytes);
   }
 }
 
 void Auditor::on_manager_destroyed(const void* mgr) {
+  const util::MutexLock lock(hook_mu_);
   for (std::size_t i = 0; i < mgr_slots_.size(); ++i) {
     if (mgr_slots_[i] != mgr) continue;
     const int id = static_cast<int>(i);
@@ -313,23 +327,26 @@ void Auditor::on_manager_destroyed(const void* mgr) {
 
 void Auditor::on_pfs_write(const void* fs, int file, std::uint64_t offset,
                            std::uint64_t len) {
+  const util::MutexLock lock(hook_mu_);
   ++counters_.pfs_writes;
   counters_.pfs_bytes_written += len;
-  if (Epoch* ep = epoch_for(cur_actor_, fs, file)) {
+  if (Epoch* ep = epoch_for(tl_cur_actor_, fs, file)) {
     if (ep->is_write) ep->written.push_back({offset, len});
   }
 }
 
 void Auditor::on_pfs_read(const void* fs, int file, std::uint64_t offset,
                           std::uint64_t len) {
+  const util::MutexLock lock(hook_mu_);
   ++counters_.pfs_reads;
   counters_.pfs_bytes_read += len;
-  if (Epoch* ep = epoch_for(cur_actor_, fs, file)) {
+  if (Epoch* ep = epoch_for(tl_cur_actor_, fs, file)) {
     ep->preread.push_back({offset, len});
   }
 }
 
 void Auditor::on_pfs_destroyed(const void* fs) {
+  const util::MutexLock lock(hook_mu_);
   for (auto it = keys_.begin(); it != keys_.end();) {
     if (it->first.fs == fs) {
       it = keys_.erase(it);
@@ -342,6 +359,7 @@ void Auditor::on_pfs_destroyed(const void* fs) {
 void Auditor::on_collective_begin(const void* fs, int file, bool is_write,
                                   int participants, int rank,
                                   std::span<const util::Extent> extents) {
+  const util::MutexLock lock(hook_mu_);
   KeyState& ks = keys_[EpochKey{fs, file, is_write}];
   const std::uint64_t seq = ks.begun_by_rank[rank]++;
   if (seq < ks.base_seq) {
@@ -371,6 +389,7 @@ void Auditor::on_collective_begin(const void* fs, int file, bool is_write,
 
 void Auditor::on_collective_end(const void* fs, int file, bool is_write,
                                 int rank) {
+  const util::MutexLock lock(hook_mu_);
   const auto r = static_cast<std::size_t>(rank);
   std::shared_ptr<Epoch> ep;
   if (r < stacks_.size()) {
@@ -496,13 +515,14 @@ Auditor::Epoch* Auditor::innermost_epoch(int actor) const {
 }
 
 void Auditor::reset_transient() {
-  cur_actor_ = -1;
+  tl_cur_actor_ = -1;
   for (auto& w : waits_) w.waiting = false;
   for (auto& s : stacks_) s.clear();
   keys_.clear();
 }
 
 void Auditor::on_run_end() {
+  const util::MutexLock lock(hook_mu_);
   ++counters_.runs;
   for (std::size_t r = 0; r < stacks_.size(); ++r) {
     if (!stacks_[r].empty()) {
@@ -527,14 +547,13 @@ void Auditor::on_run_end() {
 }
 
 void Auditor::on_run_aborted() {
+  const util::MutexLock lock(hook_mu_);
   reset_transient();
   if (!deferred_) findings_.clear();
 }
 
 void Auditor::absorb_counters(const AuditCounters& other) {
-  // Serializes concurrent absorbs from parallel bench/fuzz tasks; the
-  // auditor's own event path stays single-threaded per attached run.
-  const util::MutexLock lock(absorb_mu_);
+  const util::MutexLock lock(hook_mu_);
   counters_.runs += other.runs;
   counters_.slices += other.slices;
   counters_.messages += other.messages;

@@ -23,6 +23,15 @@
 // diagnostic is appended to the engine's error. Deferred mode
 // (set_deferred(true)) accumulates findings for inspection instead —
 // used by the auditor's own tests.
+//
+// Thread safety: under the engine's lookahead scheduler (DESIGN.md §14)
+// observer hooks fire concurrently from shard workers, so every hook
+// serializes on hook_mu_ and the executing actor is tracked per worker
+// thread (fibers are thread-pinned). Monotone counters stay exact —
+// they only ever sum — and the extent/lease checks are keyed by rank or
+// epoch, not by arrival order, so verdicts cannot depend on the
+// interleaving. Accessors (findings(), counters(), report()) are for
+// quiescent use between runs.
 #pragma once
 
 #include <cstdint>
@@ -96,7 +105,7 @@ class Auditor final : public Observer {
   /// sums are commutative, so the global totals are independent of task
   /// completion order (and of --threads entirely).
   void absorb_counters(const AuditCounters& other)
-      MCIO_EXCLUDES(absorb_mu_);
+      MCIO_EXCLUDES(hook_mu_);
 
   /// Multi-line "kind: message" listing of the current findings.
   std::string report() const;
@@ -181,49 +190,58 @@ class Auditor final : public Observer {
     int tag = -1;
   };
 
-  void add_finding(std::string kind, std::string message);
+  void add_finding(std::string kind, std::string message)
+      MCIO_REQUIRES(hook_mu_);
   /// Dense id of a MemoryManager, assigned in first-observation order —
   /// the deterministic stand-in for the manager's address everywhere a
   /// key can reach an iteration (lease maps, finding messages). A
   /// destroyed manager's slot is cleared, so an allocator reusing its
   /// address yields a fresh id.
-  int mgr_id(const void* mgr);
+  int mgr_id(const void* mgr) MCIO_REQUIRES(hook_mu_);
   /// The innermost open collective `actor` is inside matching (fs, file),
   /// or null.
-  Epoch* epoch_for(int actor, const void* fs, int file) const;
+  Epoch* epoch_for(int actor, const void* fs, int file) const
+      MCIO_REQUIRES(hook_mu_);
   /// The innermost open collective `actor` is inside, or null.
-  Epoch* innermost_epoch(int actor) const;
-  void close_epoch(Epoch& epoch);
+  Epoch* innermost_epoch(int actor) const MCIO_REQUIRES(hook_mu_);
+  void close_epoch(Epoch& epoch) MCIO_REQUIRES(hook_mu_);
   /// Drops all per-run transient state (open epochs, wait records,
   /// collective stacks, the current actor).
-  void reset_transient();
+  void reset_transient() MCIO_REQUIRES(hook_mu_);
 
   bool deferred_ = false;
+  // Findings and counters mutate only under hook_mu_; the unlocked
+  // accessors above are for quiescent (between-run) inspection.
   std::vector<Finding> findings_;
   AuditCounters counters_;
 
-  // Engine state.
-  int cur_actor_ = -1;
-  std::vector<double> last_clock_;
-  std::vector<WaitInfo> waits_;
+  // Engine state. The executing actor is per worker thread: fibers are
+  // thread-pinned, so each lookahead worker observes its own shard's
+  // resume/yield pairs and concurrent shards cannot clobber each other's
+  // attribution of lease/PFS events.
+  static thread_local int tl_cur_actor_;
+  std::vector<double> last_clock_ MCIO_GUARDED_BY(hook_mu_);
+  std::vector<WaitInfo> waits_ MCIO_GUARDED_BY(hook_mu_);
 
   // Lease ledger across all managers (for deadlock resource reports);
   // epoch-scoped balances live in Epoch::leases. Keyed (manager id,
   // node) — see mgr_id().
-  std::map<std::pair<int, int>, std::int64_t> ledger_;
+  std::map<std::pair<int, int>, std::int64_t> ledger_
+      MCIO_GUARDED_BY(hook_mu_);
   /// mgr_id() slots: index = id, value = live manager pointer (null
   /// after on_manager_destroyed). Linear scan — a handful of managers
   /// exist per simulation.
-  std::vector<const void*> mgr_slots_;
+  std::vector<const void*> mgr_slots_ MCIO_GUARDED_BY(hook_mu_);
 
-  /// Serializes concurrent absorb_counters() calls from parallel
-  /// bench/fuzz tasks; the event path stays single-threaded per run.
-  util::Mutex absorb_mu_;
+  /// Serializes every observer hook (lookahead workers call in
+  /// concurrently) and absorb_counters() from parallel bench/fuzz tasks.
+  mutable util::Mutex hook_mu_;
 
   // Collective epochs.
-  std::map<EpochKey, KeyState> keys_;
+  std::map<EpochKey, KeyState> keys_ MCIO_GUARDED_BY(hook_mu_);
   /// Stack of open collectives per world rank (innermost last).
-  std::vector<std::vector<std::shared_ptr<Epoch>>> stacks_;
+  std::vector<std::vector<std::shared_ptr<Epoch>>> stacks_
+      MCIO_GUARDED_BY(hook_mu_);
 };
 
 /// The process-wide Auditor instance behind verify::global_observer().

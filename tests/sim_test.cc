@@ -134,7 +134,12 @@ TEST(BandwidthQueue, Utilization) {
   BandwidthQueue q("test", 100.0);
   q.serve(0.0, 100.0);
   EXPECT_NEAR(q.utilization(2.0), 0.5, 1e-12);
-  EXPECT_NEAR(q.utilization(0.5), 1.0, 1e-12);
+  // Oversubscription beyond the horizon is reported raw, not clamped;
+  // only the presentation helper caps at 1.0.
+  EXPECT_NEAR(q.utilization(0.5), 2.0, 1e-12);
+  EXPECT_NEAR(q.utilization_clamped(0.5), 1.0, 1e-12);
+  EXPECT_NEAR(q.utilization_clamped(2.0), 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(q.utilization(0.0), 0.0);
   q.reset_accounting();
   EXPECT_DOUBLE_EQ(q.busy_time(), 0.0);
 }

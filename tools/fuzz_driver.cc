@@ -27,9 +27,15 @@
 //                     oracle is reentrant; failures are minimized
 //                     sequentially afterwards, in case order).
 //   --sim-shards=N    run every simulation on an N-shard engine.
-//   --shards-matrix   run every case at sim-shards 1, 2 and 8 and fail it
-//                     if any file/read hash or verdict differs — the
-//                     determinism soak of DESIGN.md §12.
+//   --lookahead       run sharded engines under the conservative-lookahead
+//                     scheduler (DESIGN.md §14) instead of sequenced
+//                     replay. A host knob, not scenario state: repro
+//                     files are unchanged and replay in either mode.
+//   --shards-matrix   run every case at sim-shards {2, 8} × {sequenced,
+//                     lookahead} and fail it if any file/read hash,
+//                     audit counter or verdict differs from the
+//                     sim-shards=1 baseline — the determinism soak of
+//                     DESIGN.md §12/§14.
 #include <atomic>
 #include <filesystem>
 #include <fstream>
@@ -81,38 +87,70 @@ void for_each_case(int threads, std::uint64_t n,
   for (std::thread& t : pool) t.join();
 }
 
-/// One case of the shards-matrix soak: the differential verdict and both
-/// oracle hashes must be identical at every shard count. Returns an
-/// empty string when deterministic, else a description of the first
-/// divergence.
+/// Names every audit counter that differs between two trails, e.g.
+/// " slices 120/118 waits 14/13"; empty when equal.
+std::string describe_counter_diff(const mcio::verify::AuditCounters& a,
+                                  const mcio::verify::AuditCounters& b) {
+  std::ostringstream os;
+  const auto field = [&](const char* name, std::uint64_t x,
+                         std::uint64_t y) {
+    if (x != y) os << " " << name << " " << x << "/" << y;
+  };
+  field("runs", a.runs, b.runs);
+  field("slices", a.slices, b.slices);
+  field("messages", a.messages, b.messages);
+  field("unexpected", a.unexpected, b.unexpected);
+  field("waits", a.waits, b.waits);
+  field("lease_grants", a.lease_grants, b.lease_grants);
+  field("lease_releases", a.lease_releases, b.lease_releases);
+  field("pfs_writes", a.pfs_writes, b.pfs_writes);
+  field("pfs_reads", a.pfs_reads, b.pfs_reads);
+  field("pfs_bytes_written", a.pfs_bytes_written, b.pfs_bytes_written);
+  field("pfs_bytes_read", a.pfs_bytes_read, b.pfs_bytes_read);
+  field("collectives", a.collectives, b.collectives);
+  field("findings", a.findings, b.findings);
+  return os.str();
+}
+
+/// One case of the shards-matrix soak: the differential verdict, both
+/// oracle hashes and the audit counters must be identical at every
+/// (shard count × scheduler mode) cell. Returns an empty string when
+/// deterministic, else a description of the first divergence.
 std::string check_shards_matrix(const Scenario& s, const DiffResult& at1) {
   for (const int shards : {2, 8}) {
-    OracleOptions opt;
-    opt.sim_shards = shards;
-    const DiffResult r = mcio::fuzz::run_differential(s, opt);
-    for (int d = 0; d < 3; ++d) {
-      const auto& a = at1.runs[d];
-      const auto& b = r.runs[d];
-      if (a.completed != b.completed || a.file_hash != b.file_hash ||
-          a.read_hash != b.read_hash || a.pattern_ok != b.pattern_ok ||
-          a.findings.size() != b.findings.size() ||
-          !(a.counters == b.counters)) {
-        std::ostringstream os;
-        os << "sim-shards=" << shards << " diverges from sim-shards=1 on "
-           << mcio::fuzz::driver_kind_name(
-                  static_cast<mcio::fuzz::DriverKind>(d))
-           << ": completed " << a.completed << "/" << b.completed
-           << " file " << std::hex << a.file_hash << "/" << b.file_hash
-           << " read " << a.read_hash << "/" << b.read_hash << std::dec
-           << " pattern " << a.pattern_ok << "/" << b.pattern_ok
-           << " findings " << a.findings.size() << "/"
-           << b.findings.size();
-        return os.str();
+    for (const bool lookahead : {false, true}) {
+      OracleOptions opt;
+      opt.sim_shards = shards;
+      opt.lookahead = lookahead;
+      const char* mode = lookahead ? ",lookahead" : "";
+      const DiffResult r = mcio::fuzz::run_differential(s, opt);
+      for (int d = 0; d < 3; ++d) {
+        const auto& a = at1.runs[d];
+        const auto& b = r.runs[d];
+        if (a.completed != b.completed || a.file_hash != b.file_hash ||
+            a.read_hash != b.read_hash || a.pattern_ok != b.pattern_ok ||
+            a.findings.size() != b.findings.size() ||
+            !(a.counters == b.counters)) {
+          std::ostringstream os;
+          os << "sim-shards=" << shards << mode
+             << " diverges from sim-shards=1 on "
+             << mcio::fuzz::driver_kind_name(
+                    static_cast<mcio::fuzz::DriverKind>(d))
+             << ": completed " << a.completed << "/" << b.completed
+             << " file " << std::hex << a.file_hash << "/" << b.file_hash
+             << " read " << a.read_hash << "/" << b.read_hash << std::dec
+             << " pattern " << a.pattern_ok << "/" << b.pattern_ok
+             << " findings " << a.findings.size() << "/"
+             << b.findings.size() << " counters:"
+             << describe_counter_diff(a.counters, b.counters);
+          return os.str();
+        }
       }
-    }
-    if (r.classify() != at1.classify()) {
-      return "sim-shards=" + std::to_string(shards) +
-             " verdict diverges: " + r.classify() + " vs " + at1.classify();
+      if (r.classify() != at1.classify()) {
+        return "sim-shards=" + std::to_string(shards) + mode +
+               " verdict diverges: " + r.classify() + " vs " +
+               at1.classify();
+      }
     }
   }
   return "";
@@ -179,6 +217,7 @@ int main(int argc, char** argv) {
                           : static_cast<int>(cli.get_int("threads", 1));
   OracleOptions oracle_opt;
   oracle_opt.sim_shards = static_cast<int>(cli.get_int("sim-shards", 1));
+  oracle_opt.lookahead = cli.get_bool("lookahead", false);
   const bool shards_matrix = cli.get_bool("shards-matrix", false);
   cli.check_unused();
 
